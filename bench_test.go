@@ -1,0 +1,296 @@
+package indice
+
+// One benchmark per evaluation artifact of the paper (see DESIGN.md's
+// per-experiment index E1..E8) plus the ablation benches for the design
+// choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem .
+
+import (
+	"sync"
+	"testing"
+
+	"indice/internal/cluster"
+	"indice/internal/core"
+	"indice/internal/dashboard"
+	"indice/internal/epc"
+	"indice/internal/experiments"
+	"indice/internal/geo"
+	"indice/internal/geocode"
+	"indice/internal/outlier"
+	"indice/internal/query"
+	"indice/internal/synth"
+)
+
+var (
+	worldOnce sync.Once
+	world     *experiments.World
+	worldErr  error
+)
+
+// benchWorld lazily builds one shared synthetic universe (2000
+// certificates; the experiments binary runs the 25000-certificate paper
+// scale).
+func benchWorld(b *testing.B) *experiments.World {
+	b.Helper()
+	worldOnce.Do(func() {
+		world, worldErr = experiments.NewWorld(experiments.TestScale())
+	})
+	if worldErr != nil {
+		b.Fatal(worldErr)
+	}
+	return world
+}
+
+func benchRunner(b *testing.B) *experiments.Runner {
+	return &experiments.Runner{World: benchWorld(b)}
+}
+
+// BenchmarkE1DatasetGeneration regenerates the §3 dataset (25000×132 at
+// paper scale; 2000×132 here) from scratch.
+func BenchmarkE1DatasetGeneration(b *testing.B) {
+	w := benchWorld(b)
+	cfg := synth.DefaultConfig()
+	cfg.Certificates = w.Scale.Certificates
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Generate(cfg, w.City); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2GeoCleaning runs the §2.1.1 reconciliation pass (ϕ=0.8,
+// blocking index + geocoder fallback) over the corrupted collection.
+func BenchmarkE2GeoCleaning(b *testing.B) {
+	w := benchWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		work := w.Dirty.Clone()
+		cl, err := geocode.NewCleaner(w.StreetMap,
+			geocode.NewMockGeocoder(w.StreetMap, w.Scale.Certificates),
+			geocode.DefaultCleanConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := cl.Clean(work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2AblationExhaustiveMatch is the DESIGN.md ablation: best-match
+// address lookup via the n-gram blocking index versus the exhaustive scan
+// of the whole street registry.
+func BenchmarkE2AblationExhaustiveMatch(b *testing.B) {
+	w := benchWorld(b)
+	addr, err := w.Dirty.Strings(epc.AttrAddress)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("blocking", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w.StreetMap.MatchStreet(addr[i%len(addr)], 32)
+		}
+	})
+	b.Run("exhaustive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w.StreetMap.MatchStreetExhaustive(addr[i%len(addr)])
+		}
+	})
+}
+
+// BenchmarkE3Outliers compares the §2.1.2 detectors on the case-study
+// attributes of the corrupted collection.
+func BenchmarkE3Outliers(b *testing.B) {
+	w := benchWorld(b)
+	for _, m := range []outlier.Method{outlier.MethodBoxplot, outlier.MethodGESD, outlier.MethodMAD} {
+		b.Run(string(m), func(b *testing.B) {
+			cfg := outlier.DefaultConfig(m)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := outlier.DetectColumns(w.Dirty, epc.CaseStudyAttributes, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("dbscan-auto", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := outlier.DetectMultivariate(w.Dirty, epc.CaseStudyAttributes,
+				outlier.MultivariateConfig{SampleSize: 300}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE3AblationFixedEps is the DESIGN.md ablation: DBSCAN with the
+// k-distance auto-estimated eps versus a fixed eps.
+func BenchmarkE3AblationFixedEps(b *testing.B) {
+	w := benchWorld(b)
+	b.Run("auto-eps", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := outlier.DetectMultivariate(w.Dirty, epc.CaseStudyAttributes,
+				outlier.MultivariateConfig{SampleSize: 300}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fixed-eps", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := outlier.DetectMultivariate(w.Dirty, epc.CaseStudyAttributes,
+				outlier.MultivariateConfig{Eps: 0.05, MinPts: 5}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE4CorrelationMatrix regenerates the Figure 3 matrix.
+func BenchmarkE4CorrelationMatrix(b *testing.B) {
+	r := benchRunner(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.E4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5KMeansElbow regenerates the Figure 4 cluster analysis (SSE
+// sweep + elbow + final clustering).
+func BenchmarkE5KMeansElbow(b *testing.B) {
+	r := benchRunner(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.E5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5AblationInit is the DESIGN.md ablation: the paper's uniform
+// random centroid initialization versus k-means++.
+func BenchmarkE5AblationInit(b *testing.B) {
+	w := benchWorld(b)
+	mat, _, err := w.Clean.Matrix(epc.CaseStudyAttributes...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, pp := range map[string]bool{"random": false, "plusplus": true} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := cluster.KMeansConfig{K: 5, Seed: int64(i), PlusPlus: pp}
+				if _, err := cluster.KMeans(mat, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6AssociationRules regenerates the Figure 4 rule panel (CART
+// discretization + Apriori + rule generation).
+func BenchmarkE6AssociationRules(b *testing.B) {
+	r := benchRunner(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.E6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7Maps regenerates the Figure 2 drill-down, one sub-bench per
+// zoom level.
+func BenchmarkE7Maps(b *testing.B) {
+	w := benchWorld(b)
+	eng, err := core.NewEngine(w.Clean.Clone(), w.City.Hierarchy, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, level := range []geo.Level{geo.LevelUnit, geo.LevelNeighbourhood, geo.LevelDistrict, geo.LevelCity} {
+		b.Run(level.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, _, err := dashboard.RenderMap(eng.Table(), eng.Hierarchy(), dashboard.MapSpec{
+					Title: "bench",
+					Level: level,
+					Attr:  epc.AttrEPH,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7AblationAggregation is the DESIGN.md ablation: at coarse
+// zoom, rendering aggregated cluster-markers versus every point.
+func BenchmarkE7AblationAggregation(b *testing.B) {
+	w := benchWorld(b)
+	eng, err := core.NewEngine(w.Clean.Clone(), w.City.Hierarchy, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("aggregated-markers", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := dashboard.RenderMap(eng.Table(), eng.Hierarchy(), dashboard.MapSpec{
+				Title: "bench", Level: geo.LevelDistrict, Attr: epc.AttrEPH,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-point", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := dashboard.RenderMap(eng.Table(), eng.Hierarchy(), dashboard.MapSpec{
+				Title: "bench", Level: geo.LevelUnit, Attr: epc.AttrEPH,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE8Dashboards regenerates the three stakeholder dashboards.
+func BenchmarkE8Dashboards(b *testing.B) {
+	w := benchWorld(b)
+	eng, err := core.NewEngine(w.Clean.Clone(), w.City.Hierarchy, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	acfg := core.DefaultAnalysisConfig()
+	acfg.KMax = 8
+	an, err := eng.Analyze(acfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range []query.Stakeholder{query.Citizen, query.PublicAdministration, query.EnergyScientist} {
+		b.Run(string(s), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Dashboard(s, an); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

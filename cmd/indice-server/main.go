@@ -1,0 +1,117 @@
+// Command indice-server serves the INDICE dashboards over HTTP: the
+// dynamic, navigable counterpart of the one-shot indice CLI.
+//
+//	indice-server -epcs epcs.csv [-streets streets.csv] -addr :8080
+//
+// Routes: / (navigation), /dashboard/{stakeholder}, /map?level=&attr=,
+// /api/{stats,zones,rules,clusters}.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"indice/internal/core"
+	"indice/internal/epc"
+	"indice/internal/geo"
+	"indice/internal/geocode"
+	"indice/internal/query"
+	"indice/internal/server"
+	"indice/internal/synth"
+	"indice/internal/table"
+)
+
+func main() {
+	var (
+		epcsPath = flag.String("epcs", "", "EPC table (typed CSV); empty generates a synthetic demo collection")
+		n        = flag.Int("n", 8000, "synthetic certificates when -epcs is empty")
+		addr     = flag.String("addr", ":8080", "listen address")
+		use      = flag.String("use", epc.UseResidential, "intended-use selection ('' disables)")
+		kMax     = flag.Int("kmax", 10, "upper bound of the K-means sweep")
+	)
+	flag.Parse()
+
+	var (
+		tab  *table.Table
+		hier *geo.Hierarchy
+		opts core.Options
+	)
+	if *epcsPath == "" {
+		city, err := synth.GenerateCity(synth.DefaultCityConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := synth.DefaultConfig()
+		cfg.Certificates = *n
+		ds, err := synth.Generate(cfg, city)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab, hier = ds.Table, city.Hierarchy
+		entries := make([]geocode.ReferenceEntry, len(city.Entries))
+		for i, e := range city.Entries {
+			entries[i] = geocode.ReferenceEntry{Street: e.Street, HouseNumber: e.HouseNumber, ZIP: e.ZIP, Point: e.Point}
+		}
+		if sm, err := geocode.NewStreetMap(entries); err == nil {
+			opts.StreetMap = sm
+			opts.Geocoder = geocode.NewMockGeocoder(sm, 2000)
+		}
+		fmt.Fprintf(os.Stderr, "generated %d synthetic certificates\n", tab.NumRows())
+	} else {
+		f, err := os.Open(*epcsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab, err = table.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		lat, err := tab.Floats(epc.AttrLatitude)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lon, _ := tab.Floats(epc.AttrLongitude)
+		b := geo.EmptyBounds()
+		for i := range lat {
+			p := geo.Point{Lat: lat[i], Lon: lon[i]}
+			if p.Valid() {
+				b = b.Extend(p)
+			}
+		}
+		hier, err = geo.GridHierarchy("dataset", b, 2, 4, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d certificates from %s\n", tab.NumRows(), *epcsPath)
+	}
+
+	eng, err := core.NewEngine(tab, hier, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *use != "" {
+		if _, err := eng.Select(query.In{Attr: epc.AttrIntendedUse, Values: []string{*use}}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := eng.Preprocess(core.DefaultPreprocessConfig()); err != nil {
+		log.Fatal(err)
+	}
+	acfg := core.DefaultAnalysisConfig()
+	acfg.KMax = *kMax
+	an, err := eng.Analyze(acfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(eng, an)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "serving INDICE on %s (%d certificates, K=%d, %d rules)\n",
+		*addr, eng.Table().NumRows(), an.ChosenK, len(an.Rules))
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

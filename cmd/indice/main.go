@@ -1,0 +1,216 @@
+// Command indice runs the full INDICE pipeline over an EPC collection:
+// load → select → pre-process (geospatial cleaning + outlier removal) →
+// analyze (correlations, K-means with elbow K, CART discretization,
+// association rules) → render the informative dashboard.
+//
+//	indice -epcs epcs.csv -streets streets.csv -stakeholder pa -out dashboard.html
+//
+// Input files come from epcgen (or any source honouring the typed-CSV
+// schema of internal/table and the street-map CSV layout of epcgen).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"indice/internal/core"
+	"indice/internal/epc"
+	"indice/internal/geo"
+	"indice/internal/geocode"
+	"indice/internal/query"
+	"indice/internal/table"
+)
+
+func main() {
+	var (
+		epcsPath    = flag.String("epcs", "", "EPC table (typed CSV from epcgen); required")
+		streetsPath = flag.String("streets", "", "referenced street map CSV; enables geospatial cleaning")
+		stakeholder = flag.String("stakeholder", "public-administration", "citizen | public-administration | energy-scientist")
+		out         = flag.String("out", "dashboard.html", "dashboard output path")
+		phi         = flag.Float64("phi", 0.8, "Levenshtein similarity threshold for address reconciliation")
+		quota       = flag.Int("geocoder-quota", 1000, "free remote geocoding requests (simulated)")
+		use         = flag.String("use", epc.UseResidential, "intended-use selection ('' disables)")
+		kMax        = flag.Int("kmax", 10, "upper bound of the K-means sweep")
+		skipAnalyze = flag.Bool("skip-analysis", false, "skip the analytics tier (maps only)")
+		reportPath  = flag.String("report", "", "optional markdown run-report output path")
+	)
+	flag.Parse()
+	if *epcsPath == "" {
+		fatal(fmt.Errorf("-epcs is required"))
+	}
+
+	tab, err := loadTable(*epcsPath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d certificates x %d attributes\n", tab.NumRows(), tab.NumCols())
+
+	hier, err := hierarchyFromData(tab)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := core.Options{}
+	if *streetsPath != "" {
+		sm, err := loadStreetMap(*streetsPath)
+		if err != nil {
+			fatal(err)
+		}
+		opts.StreetMap = sm
+		opts.Geocoder = geocode.NewMockGeocoder(sm, *quota)
+	}
+	eng, err := core.NewEngine(tab, hier, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *use != "" {
+		n, err := eng.Select(query.In{Attr: epc.AttrIntendedUse, Values: []string{*use}})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "selected %d certificates with intended use %s\n", n, *use)
+	}
+
+	pcfg := core.DefaultPreprocessConfig()
+	pcfg.Clean.Phi = *phi
+	rep, err := eng.Preprocess(pcfg)
+	if err != nil {
+		fatal(err)
+	}
+	if rep.Cleaning != nil {
+		fmt.Fprintf(os.Stderr,
+			"cleaning: %d untouched, %d via street map, %d geocoded, %d unresolved (%d remote requests)\n",
+			rep.Cleaning.Untouched, rep.Cleaning.StreetMap, rep.Cleaning.Geocoded,
+			rep.Cleaning.Unresolved, rep.Cleaning.GeocoderRequests)
+	}
+	fmt.Fprintf(os.Stderr, "outliers (%s): removed %d rows, %d remain\n",
+		rep.UnivariateMethod, len(rep.OutlierRows), rep.RowsAfter)
+
+	var an *core.Analysis
+	if !*skipAnalyze {
+		acfg := core.DefaultAnalysisConfig()
+		acfg.KMax = *kMax
+		an, err = eng.Analyze(acfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "analytics: K=%d clusters, %d association rules, weakly correlated=%v\n",
+			an.ChosenK, len(an.Rules), an.WeaklyCorrelated)
+	}
+
+	s, err := query.ParseStakeholder(*stakeholder)
+	if err != nil {
+		fatal(err)
+	}
+	html, err := eng.Dashboard(s, an)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, []byte(html), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s dashboard to %s (%d bytes)\n", s, *out, len(html))
+
+	if *reportPath != "" {
+		if err := os.WriteFile(*reportPath, []byte(eng.Report(rep, an)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote run report to %s\n", *reportPath)
+	}
+}
+
+func loadTable(path string) (*table.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return table.ReadCSV(f)
+}
+
+// loadStreetMap parses the epcgen street CSV layout:
+// street,house_number,zip,lat,lon with a header row.
+func loadStreetMap(path string) (*geocode.StreetMap, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	if _, err := r.Read(); err != nil { // header
+		return nil, fmt.Errorf("reading street map header: %w", err)
+	}
+	var entries []geocode.ReferenceEntry
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("reading street map: %w", err)
+		}
+		if len(rec) != 5 {
+			return nil, fmt.Errorf("street map row has %d fields, want 5", len(rec))
+		}
+		lat, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("street map latitude: %w", err)
+		}
+		lon, err := strconv.ParseFloat(rec[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("street map longitude: %w", err)
+		}
+		entries = append(entries, geocode.ReferenceEntry{
+			Street:      rec[0],
+			HouseNumber: rec[1],
+			ZIP:         rec[2],
+			Point:       geo.Point{Lat: lat, Lon: lon},
+		})
+	}
+	return geocode.NewStreetMap(entries)
+}
+
+// hierarchyFromData builds the 2x4-district grid hierarchy over the
+// observed coordinate bounds — the CLI fallback when no official zone
+// polygons ship with the data.
+func hierarchyFromData(t *table.Table) (*geo.Hierarchy, error) {
+	lat, err := t.Floats(epc.AttrLatitude)
+	if err != nil {
+		return nil, err
+	}
+	lon, err := t.Floats(epc.AttrLongitude)
+	if err != nil {
+		return nil, err
+	}
+	b := geo.EmptyBounds()
+	for i := range lat {
+		p := geo.Point{Lat: lat[i], Lon: lon[i]}
+		if p.Valid() && (p.Lat != 0 || p.Lon != 0) {
+			b = b.Extend(p)
+		}
+	}
+	if b.IsEmpty() {
+		return nil, fmt.Errorf("no valid coordinates in the dataset")
+	}
+	// Grow slightly so boundary points stay strictly inside.
+	const pad = 1e-4
+	b.MinLat -= pad
+	b.MinLon -= pad
+	b.MaxLat += pad
+	b.MaxLon += pad
+	city := "dataset"
+	if cities, err := t.Strings(epc.AttrCity); err == nil && len(cities) > 0 {
+		city = cities[0]
+	}
+	return geo.GridHierarchy(city, b, 2, 4, 2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "indice:", err)
+	os.Exit(1)
+}

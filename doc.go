@@ -1,0 +1,12 @@
+// Package indice is a from-scratch Go reproduction of INDICE (INformative
+// DynamiC dashboard Engine), the EPC visual-analytics framework of
+// Cerquitelli et al., "Exploring energy performance certificates through
+// visualization" (BigVis @ EDBT/ICDT 2019).
+//
+// The implementation lives under internal/: see internal/core for the
+// public pipeline (Engine: Preprocess → Analyze → Dashboard), DESIGN.md
+// for the system inventory and per-experiment index, and EXPERIMENTS.md
+// for the paper-vs-measured record. The benchmarks in bench_test.go
+// regenerate every evaluation artifact of the paper (E1..E8) plus the
+// ablations DESIGN.md calls out.
+package indice

@@ -1,0 +1,336 @@
+// Package assoc implements the association-rule discovery of the INDICE
+// analytics engine (§2.2.2): Apriori frequent-itemset mining over the
+// discretized EPC attributes, rule generation, and the four quality
+// indices the paper filters on — support, confidence, lift and conviction.
+package assoc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Item is one attribute=value pair of a transactional row.
+type Item struct {
+	Attr  string
+	Value string
+}
+
+// String renders the item as attr=value.
+func (it Item) String() string { return it.Attr + "=" + it.Value }
+
+// Transaction is the itemset of one row. Items within a transaction must
+// have distinct attributes (one value per attribute).
+type Transaction []Item
+
+// Itemset is a canonical (sorted, deduplicated) set of items.
+type Itemset []Item
+
+// key renders a canonical string key for map indexing.
+func (s Itemset) key() string {
+	parts := make([]string, len(s))
+	for i, it := range s {
+		parts[i] = it.String()
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// String renders the itemset as {a=x, b=y}.
+func (s Itemset) String() string {
+	parts := make([]string, len(s))
+	for i, it := range s {
+		parts[i] = it.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func less(a, b Item) bool {
+	if a.Attr != b.Attr {
+		return a.Attr < b.Attr
+	}
+	return a.Value < b.Value
+}
+
+// canon sorts and deduplicates a copy of the items.
+func canon(items []Item) Itemset {
+	out := append(Itemset(nil), items...)
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	dedup := out[:0]
+	for i, it := range out {
+		if i > 0 && it == out[i-1] {
+			continue
+		}
+		dedup = append(dedup, it)
+	}
+	return dedup
+}
+
+// FrequentItemset pairs an itemset with its support count.
+type FrequentItemset struct {
+	Items   Itemset
+	Count   int
+	Support float64
+}
+
+// MiningConfig bounds the Apriori search.
+type MiningConfig struct {
+	// MinSupport is the minimum itemset support in [0,1].
+	MinSupport float64
+	// MaxLen bounds itemset length (default 4: antecedent up to 3 items
+	// plus a consequent).
+	MaxLen int
+	// DisablePruning turns off the anti-monotone candidate pruning; the
+	// correctness-equivalent exhaustive variant exists for the ablation
+	// bench only.
+	DisablePruning bool
+}
+
+// Miner holds a transactional dataset ready for mining.
+type Miner struct {
+	txs []Itemset
+	n   int
+}
+
+// NewMiner canonicalizes the transactions. Empty transactions are kept
+// (they count toward N but support nothing).
+func NewMiner(txs []Transaction) (*Miner, error) {
+	if len(txs) == 0 {
+		return nil, errors.New("assoc: no transactions")
+	}
+	m := &Miner{txs: make([]Itemset, len(txs)), n: len(txs)}
+	for i, t := range txs {
+		m.txs[i] = canon(t)
+	}
+	return m, nil
+}
+
+// N returns the number of transactions.
+func (m *Miner) N() int { return m.n }
+
+// FrequentItemsets runs Apriori and returns every itemset with support ≥
+// cfg.MinSupport, sorted by (length, support desc, key).
+func (m *Miner) FrequentItemsets(cfg MiningConfig) ([]FrequentItemset, error) {
+	if cfg.MinSupport <= 0 || cfg.MinSupport > 1 {
+		return nil, fmt.Errorf("assoc: min support %v out of (0,1]", cfg.MinSupport)
+	}
+	maxLen := cfg.MaxLen
+	if maxLen <= 0 {
+		maxLen = 4
+	}
+	minCount := int(math.Ceil(cfg.MinSupport * float64(m.n)))
+	if minCount < 1 {
+		minCount = 1
+	}
+
+	// L1: frequent single items.
+	counts := make(map[string]int)
+	itemByKey := make(map[string]Item)
+	for _, tx := range m.txs {
+		for _, it := range tx {
+			k := it.String()
+			counts[k]++
+			itemByKey[k] = it
+		}
+	}
+	var level []Itemset
+	levelCounts := make(map[string]int)
+	for k, c := range counts {
+		if c >= minCount {
+			is := Itemset{itemByKey[k]}
+			level = append(level, is)
+			levelCounts[is.key()] = c
+		}
+	}
+	sortItemsets(level)
+
+	var result []FrequentItemset
+	appendLevel := func(sets []Itemset, counts map[string]int) {
+		for _, s := range sets {
+			c := counts[s.key()]
+			result = append(result, FrequentItemset{
+				Items:   s,
+				Count:   c,
+				Support: float64(c) / float64(m.n),
+			})
+		}
+	}
+	appendLevel(level, levelCounts)
+
+	for length := 2; length <= maxLen && len(level) > 0; length++ {
+		var candidates []Itemset
+		if cfg.DisablePruning {
+			candidates = m.allCandidates(length)
+		} else {
+			candidates = joinAndPrune(level)
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		newCounts := make(map[string]int, len(candidates))
+		keys := make([]string, len(candidates))
+		for i, c := range candidates {
+			keys[i] = c.key()
+		}
+		for _, tx := range m.txs {
+			if len(tx) < length {
+				continue
+			}
+			for i, c := range candidates {
+				if containsAll(tx, c) {
+					newCounts[keys[i]]++
+				}
+			}
+		}
+		var next []Itemset
+		nextCounts := make(map[string]int)
+		for i, c := range candidates {
+			if newCounts[keys[i]] >= minCount {
+				next = append(next, c)
+				nextCounts[keys[i]] = newCounts[keys[i]]
+			}
+		}
+		sortItemsets(next)
+		appendLevel(next, nextCounts)
+		level = next
+	}
+
+	sort.Slice(result, func(i, j int) bool {
+		if len(result[i].Items) != len(result[j].Items) {
+			return len(result[i].Items) < len(result[j].Items)
+		}
+		if result[i].Support != result[j].Support {
+			return result[i].Support > result[j].Support
+		}
+		return result[i].Items.key() < result[j].Items.key()
+	})
+	return result, nil
+}
+
+// joinAndPrune generates length k+1 candidates from the frequent level-k
+// itemsets using the classic Apriori join (shared k-1 prefix) and prunes
+// candidates with an infrequent k-subset (anti-monotonicity). Candidates
+// pairing two values of the same attribute are impossible in one
+// transaction and are dropped immediately.
+func joinAndPrune(level []Itemset) []Itemset {
+	freq := make(map[string]bool, len(level))
+	for _, s := range level {
+		freq[s.key()] = true
+	}
+	var out []Itemset
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i], level[j]
+			k := len(a)
+			// Join condition: identical first k-1 items.
+			match := true
+			for x := 0; x < k-1; x++ {
+				if a[x] != b[x] {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			last1, last2 := a[k-1], b[k-1]
+			if last1.Attr == last2.Attr {
+				continue // same attribute twice: unsatisfiable
+			}
+			cand := append(append(Itemset(nil), a...), last2)
+			sort.Slice(cand, func(x, y int) bool { return less(cand[x], cand[y]) })
+			// Prune: all k-subsets must be frequent.
+			ok := true
+			sub := make(Itemset, k)
+			for drop := 0; drop <= k; drop++ {
+				sub = sub[:0]
+				for x := 0; x <= k; x++ {
+					if x != drop {
+						sub = append(sub, cand[x])
+					}
+				}
+				if !freq[sub.key()] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, cand)
+			}
+		}
+	}
+	sortItemsets(out)
+	// Deduplicate (the join can produce the same candidate twice).
+	dedup := out[:0]
+	var prev string
+	for _, c := range out {
+		k := c.key()
+		if k == prev {
+			continue
+		}
+		dedup = append(dedup, c)
+		prev = k
+	}
+	return dedup
+}
+
+// allCandidates enumerates every length-k combination of observed items
+// with distinct attributes: the unpruned ablation baseline.
+func (m *Miner) allCandidates(k int) []Itemset {
+	seen := make(map[string]Item)
+	for _, tx := range m.txs {
+		for _, it := range tx {
+			seen[it.String()] = it
+		}
+	}
+	items := make([]Item, 0, len(seen))
+	for _, it := range seen {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return less(items[i], items[j]) })
+
+	var out []Itemset
+	var rec func(start int, cur Itemset)
+	rec = func(start int, cur Itemset) {
+		if len(cur) == k {
+			out = append(out, append(Itemset(nil), cur...))
+			return
+		}
+		for i := start; i < len(items); i++ {
+			dup := false
+			for _, c := range cur {
+				if c.Attr == items[i].Attr {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			rec(i+1, append(cur, items[i]))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+// containsAll reports whether the sorted transaction tx contains every
+// item of the sorted itemset s.
+func containsAll(tx, s Itemset) bool {
+	i := 0
+	for _, want := range s {
+		for i < len(tx) && less(tx[i], want) {
+			i++
+		}
+		if i >= len(tx) || tx[i] != want {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+func sortItemsets(sets []Itemset) {
+	sort.Slice(sets, func(i, j int) bool { return sets[i].key() < sets[j].key() })
+}

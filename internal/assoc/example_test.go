@@ -1,0 +1,26 @@
+package assoc_test
+
+import (
+	"fmt"
+
+	"indice/internal/assoc"
+)
+
+func ExampleMiner_Rules() {
+	// Three discretized certificates: poor windows always come with high
+	// heating demand.
+	txs := []assoc.Transaction{
+		{{Attr: "uw", Value: "High"}, {Attr: "eph", Value: "High"}},
+		{{Attr: "uw", Value: "High"}, {Attr: "eph", Value: "High"}},
+		{{Attr: "uw", Value: "Low"}, {Attr: "eph", Value: "Low"}},
+	}
+	m, _ := assoc.NewMiner(txs)
+	frequent, _ := m.FrequentItemsets(assoc.MiningConfig{MinSupport: 0.5})
+	rules, _ := m.Rules(frequent, assoc.RuleConfig{MinConfidence: 0.9, MaxConsequentLen: 1})
+	for _, r := range rules {
+		fmt.Println(r)
+	}
+	// Output:
+	// {eph=High} -> {uw=High} (sup=0.667 conf=1.000 lift=1.50 conv=+Inf)
+	// {uw=High} -> {eph=High} (sup=0.667 conf=1.000 lift=1.50 conv=+Inf)
+}

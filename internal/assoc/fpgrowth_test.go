@@ -1,0 +1,115 @@
+package assoc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFPGrowthMatchesAprioriSmall(t *testing.T) {
+	txs := []Transaction{
+		{{Attr: "a", Value: "1"}, {Attr: "b", Value: "1"}, {Attr: "c", Value: "1"}},
+		{{Attr: "a", Value: "1"}, {Attr: "b", Value: "1"}},
+		{{Attr: "a", Value: "1"}, {Attr: "c", Value: "2"}},
+		{{Attr: "b", Value: "1"}, {Attr: "c", Value: "1"}},
+		{{Attr: "a", Value: "2"}},
+	}
+	m, _ := NewMiner(txs)
+	cfg := MiningConfig{MinSupport: 0.2, MaxLen: 3}
+	ap, err := m.FrequentItemsets(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := m.FrequentItemsetsFP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ap) != len(fp) {
+		t.Fatalf("apriori=%d fp=%d\nAP: %v\nFP: %v", len(ap), len(fp), ap, fp)
+	}
+	for i := range ap {
+		if ap[i].Items.key() != fp[i].Items.key() || ap[i].Count != fp[i].Count {
+			t.Fatalf("mismatch at %d: %v vs %v", i, ap[i], fp[i])
+		}
+	}
+}
+
+func TestFPGrowthMatchesAprioriProperty(t *testing.T) {
+	f := func(seed int64, sup8 uint8) bool {
+		txs := marketData(seed, 120)
+		minSup := 0.05 + float64(sup8%20)/100 // 0.05 .. 0.24
+		m, _ := NewMiner(txs)
+		cfg := MiningConfig{MinSupport: minSup, MaxLen: 3}
+		ap, err := m.FrequentItemsets(cfg)
+		if err != nil {
+			return false
+		}
+		fp, err := m.FrequentItemsetsFP(cfg)
+		if err != nil {
+			return false
+		}
+		if len(ap) != len(fp) {
+			return false
+		}
+		for i := range ap {
+			if ap[i].Items.key() != fp[i].Items.key() || ap[i].Count != fp[i].Count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFPGrowthMaxLen(t *testing.T) {
+	m, _ := NewMiner(marketData(9, 200))
+	fp, err := m.FrequentItemsetsFP(MiningConfig{MinSupport: 0.05, MaxLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fp {
+		if len(f.Items) > 2 {
+			t.Fatalf("itemset exceeds MaxLen: %v", f.Items)
+		}
+	}
+}
+
+func TestFPGrowthErrors(t *testing.T) {
+	m, _ := NewMiner(marketData(10, 20))
+	if _, err := m.FrequentItemsetsFP(MiningConfig{MinSupport: 0}); err == nil {
+		t.Fatal("want error for zero support")
+	}
+	if _, err := m.FrequentItemsetsFP(MiningConfig{MinSupport: 2}); err == nil {
+		t.Fatal("want error for support > 1")
+	}
+}
+
+func TestFPGrowthRulesCompatible(t *testing.T) {
+	// Frequent sets from FP-Growth feed the same rule generator.
+	m, _ := NewMiner(marketData(11, 400))
+	fp, err := m.FrequentItemsetsFP(MiningConfig{MinSupport: 0.05, MaxLen: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := m.Rules(fp, DefaultRuleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no rules from FP-Growth itemsets")
+	}
+}
+
+func BenchmarkFPGrowth(b *testing.B) {
+	txs := marketData(8, 25000)
+	m, _ := NewMiner(txs)
+	cfg := MiningConfig{MinSupport: 0.05, MaxLen: 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.FrequentItemsetsFP(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

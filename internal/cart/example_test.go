@@ -1,0 +1,32 @@
+package cart_test
+
+import (
+	"fmt"
+
+	"indice/internal/cart"
+)
+
+func ExampleBinning_Interval() {
+	// The paper's footnote-4 discretization of the window U-value.
+	b, _ := cart.NewBinning("u_windows", []float64{2.05, 2.45, 3.35}, 1.1, 5.5)
+	for _, class := range []string{"Low", "Medium", "High", "Very high"} {
+		iv, _ := b.Interval(class)
+		fmt.Printf("%s = %s\n", class, iv)
+	}
+	// Output:
+	// Low = [1.1, 2.05]
+	// Medium = (2.05, 2.45]
+	// High = (2.45, 3.35]
+	// Very high = (3.35, 5.5]
+}
+
+func ExampleBinning_Assign() {
+	b, _ := cart.NewBinning("etah", []float64{0.60, 0.80}, 0.20, 1.1)
+	fmt.Println(b.Assign(0.45))
+	fmt.Println(b.Assign(0.75))
+	fmt.Println(b.Assign(0.95))
+	// Output:
+	// Low
+	// Medium
+	// High
+}

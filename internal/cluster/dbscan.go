@@ -1,0 +1,296 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Noise is the DBSCAN label for points in no cluster (the multivariate
+// outliers INDICE removes).
+const Noise = -1
+
+// DBSCANResult is the outcome of a DBSCAN run.
+type DBSCANResult struct {
+	// Labels assigns each point a cluster id starting at 0, or Noise.
+	Labels []int
+	// Clusters is the number of clusters found.
+	Clusters int
+	// NoiseCount is the number of noise points.
+	NoiseCount int
+}
+
+// DBSCAN clusters the row-major points with density reachability under the
+// Euclidean metric: a core point has at least minPts neighbours (itself
+// included) within eps; clusters are the transitive closure of core-point
+// neighbourhoods; everything else is noise.
+//
+// The implementation grids the space with cell size eps so neighbourhood
+// queries touch only adjacent cells, giving near-linear behaviour on the
+// EPC workloads instead of the quadratic all-pairs scan.
+func DBSCAN(points [][]float64, eps float64, minPts int) (*DBSCANResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errors.New("cluster: dbscan on empty input")
+	}
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("cluster: eps must be positive and finite, got %v", eps)
+	}
+	if minPts < 1 {
+		return nil, fmt.Errorf("cluster: minPts must be >= 1, got %d", minPts)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dim %d, want %d", i, len(p), dim)
+		}
+		for _, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("cluster: point %d holds a non-finite coordinate", i)
+			}
+		}
+	}
+
+	idx := newCellIndex(points, eps)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise - 1 // unvisited marker
+	}
+	const unvisited = Noise - 1
+
+	clusterID := 0
+	eps2 := eps * eps
+	var queue []int
+	for i := 0; i < n; i++ {
+		if labels[i] != unvisited {
+			continue
+		}
+		neigh := idx.neighbours(i, eps2)
+		if len(neigh) < minPts {
+			labels[i] = Noise
+			continue
+		}
+		// Grow a new cluster from this core point.
+		labels[i] = clusterID
+		queue = append(queue[:0], neigh...)
+		for len(queue) > 0 {
+			j := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if labels[j] == Noise {
+				labels[j] = clusterID // border point
+			}
+			if labels[j] != unvisited {
+				continue
+			}
+			labels[j] = clusterID
+			jn := idx.neighbours(j, eps2)
+			if len(jn) >= minPts {
+				queue = append(queue, jn...)
+			}
+		}
+		clusterID++
+	}
+
+	res := &DBSCANResult{Labels: labels, Clusters: clusterID}
+	for _, l := range res.Labels {
+		if l == Noise {
+			res.NoiseCount++
+		}
+	}
+	return res, nil
+}
+
+// cellIndex grids d-dimensional points with cell size eps.
+type cellIndex struct {
+	points [][]float64
+	eps    float64
+	cells  map[string][]int32
+	keys   []string // per-point cell key
+}
+
+func newCellIndex(points [][]float64, eps float64) *cellIndex {
+	ci := &cellIndex{
+		points: points,
+		eps:    eps,
+		cells:  make(map[string][]int32),
+		keys:   make([]string, len(points)),
+	}
+	for i, p := range points {
+		k := ci.key(p)
+		ci.keys[i] = k
+		ci.cells[k] = append(ci.cells[k], int32(i))
+	}
+	return ci
+}
+
+func (ci *cellIndex) key(p []float64) string {
+	buf := make([]byte, 0, len(p)*4)
+	for _, v := range p {
+		c := int64(math.Floor(v / ci.eps))
+		buf = appendInt(buf, c)
+		buf = append(buf, '|')
+	}
+	return string(buf)
+}
+
+func appendInt(b []byte, v int64) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	if v >= 10 {
+		b = appendInt(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}
+
+// neighbours returns all points within sqrt(eps2) of point i, including i.
+func (ci *cellIndex) neighbours(i int, eps2 float64) []int {
+	p := ci.points[i]
+	dim := len(p)
+	// Enumerate the 3^dim adjacent cells. For the dimensionalities INDICE
+	// uses (2-6 attributes) this stays small.
+	base := make([]int64, dim)
+	for d, v := range p {
+		base[d] = int64(math.Floor(v / ci.eps))
+	}
+	offsets := make([]int64, dim)
+	for d := range offsets {
+		offsets[d] = -1
+	}
+	var out []int
+	for {
+		buf := make([]byte, 0, dim*4)
+		for d := range base {
+			buf = appendInt(buf, base[d]+offsets[d])
+			buf = append(buf, '|')
+		}
+		for _, id := range ci.cells[string(buf)] {
+			if sqDist(p, ci.points[id]) <= eps2 {
+				out = append(out, int(id))
+			}
+		}
+		// Advance the offset odometer.
+		d := 0
+		for ; d < dim; d++ {
+			offsets[d]++
+			if offsets[d] <= 1 {
+				break
+			}
+			offsets[d] = -1
+		}
+		if d == dim {
+			break
+		}
+	}
+	return out
+}
+
+// KDistances returns, for each point, the Euclidean distance to its k-th
+// nearest neighbour (excluding itself), sorted descending: the k-distance
+// plot used to choose DBSCAN's eps. It is O(n²) and intended for the
+// sampled parameter-estimation pass, not the full clustering.
+func KDistances(points [][]float64, k int) ([]float64, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errors.New("cluster: k-distances on empty input")
+	}
+	if k < 1 || k >= n {
+		return nil, fmt.Errorf("cluster: k=%d out of range [1, %d)", k, n)
+	}
+	out := make([]float64, n)
+	dists := make([]float64, 0, n-1)
+	for i := range points {
+		dists = dists[:0]
+		for j := range points {
+			if i == j {
+				continue
+			}
+			dists = append(dists, sqDist(points[i], points[j]))
+		}
+		sort.Float64s(dists)
+		out[i] = math.Sqrt(dists[k-1])
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out, nil
+}
+
+// EstimateDBSCANParams implements the heuristic the paper adopts from
+// Di Corso et al. (METATECH): compute the k-distance plot for several
+// minPts values, pick minPts where the curve stabilises (successive curves
+// stop changing much), and eps as the elbow (maximum-curvature point) of
+// the stable curve. points should be a representative sample; the method
+// is quadratic in len(points).
+func EstimateDBSCANParams(points [][]float64, minPtsCandidates []int) (eps float64, minPts int, err error) {
+	if len(minPtsCandidates) == 0 {
+		minPtsCandidates = []int{3, 4, 5, 8, 10}
+	}
+	sort.Ints(minPtsCandidates)
+	var curves [][]float64
+	for _, k := range minPtsCandidates {
+		if k >= len(points) {
+			break
+		}
+		c, err := KDistances(points, k)
+		if err != nil {
+			return 0, 0, err
+		}
+		curves = append(curves, c)
+	}
+	if len(curves) == 0 {
+		return 0, 0, errors.New("cluster: no usable minPts candidate")
+	}
+	// Stabilisation: first curve whose mean absolute delta from the
+	// previous is below 10% of the previous curve's mean.
+	chosen := len(curves) - 1
+	for i := 1; i < len(curves); i++ {
+		prev, cur := curves[i-1], curves[i]
+		var delta, mean float64
+		for j := range cur {
+			delta += math.Abs(cur[j] - prev[j])
+			mean += prev[j]
+		}
+		if mean > 0 && delta/mean < 0.10 {
+			chosen = i
+			break
+		}
+	}
+	minPts = minPtsCandidates[chosen]
+	curve := curves[chosen]
+	// Elbow of the (descending) k-distance curve by maximum distance from
+	// the chord, the standard geometric elbow criterion.
+	eps = chordElbow(curve)
+	if eps <= 0 {
+		// Degenerate curve (all equal): any positive eps works.
+		eps = curve[0]
+		if eps <= 0 {
+			eps = 1e-9
+		}
+	}
+	return eps, minPts, nil
+}
+
+// chordElbow returns the curve value at the point with maximum distance
+// from the straight line joining the curve's endpoints.
+func chordElbow(curve []float64) float64 {
+	n := len(curve)
+	if n < 3 {
+		return curve[n-1]
+	}
+	x1, y1 := 0.0, curve[0]
+	x2, y2 := float64(n-1), curve[n-1]
+	den := math.Hypot(y2-y1, x2-x1)
+	if den == 0 {
+		return curve[n/2]
+	}
+	bestI, bestD := 0, -1.0
+	for i := range curve {
+		d := math.Abs((y2-y1)*float64(i)-(x2-x1)*curve[i]+x2*y1-y2*x1) / den
+		if d > bestD {
+			bestD = d
+			bestI = i
+		}
+	}
+	return curve[bestI]
+}

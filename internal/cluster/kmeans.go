@@ -1,0 +1,297 @@
+// Package cluster implements the unsupervised-learning substrate of the
+// INDICE analytics engine: Lloyd's K-means with SSE-based elbow selection
+// of K (as the paper prescribes, following Tan et al.), the DBSCAN
+// density-based algorithm used for multivariate outlier detection, and the
+// silhouette quality index.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMeansConfig parameterizes a K-means run.
+type KMeansConfig struct {
+	// K is the number of clusters.
+	K int
+	// MaxIterations bounds the Lloyd iterations (default 100).
+	MaxIterations int
+	// Seed drives centroid initialization.
+	Seed int64
+	// PlusPlus selects k-means++ seeding instead of the paper's uniform
+	// random initial centroids. Exposed for the ablation bench.
+	PlusPlus bool
+	// Tolerance stops iteration when no centroid moves more than this
+	// (squared Euclidean); 0 means exact convergence.
+	Tolerance float64
+}
+
+// KMeansResult is the outcome of a K-means run.
+type KMeansResult struct {
+	K          int
+	Centroids  [][]float64
+	Labels     []int
+	SSE        float64
+	Iterations int
+	// Sizes[c] is the population of cluster c.
+	Sizes []int
+}
+
+// KMeans clusters the row-major points into cfg.K groups with Lloyd's
+// algorithm under the Euclidean metric. Empty clusters are re-seeded with
+// the point farthest from its centroid, so every cluster in the result is
+// non-empty whenever K ≤ len(points).
+func KMeans(points [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errors.New("cluster: kmeans on empty input")
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dim %d, want %d", i, len(p), dim)
+		}
+		for _, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("cluster: point %d holds a non-finite coordinate", i)
+			}
+		}
+	}
+	if cfg.K < 1 || cfg.K > n {
+		return nil, fmt.Errorf("cluster: K=%d out of range [1, %d]", cfg.K, n)
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 100
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	centroids := make([][]float64, cfg.K)
+	if cfg.PlusPlus {
+		seedPlusPlus(rng, points, centroids)
+	} else {
+		// The paper's variant: K distinct points picked uniformly.
+		perm := rng.Perm(n)
+		for c := 0; c < cfg.K; c++ {
+			centroids[c] = append([]float64(nil), points[perm[c]]...)
+		}
+	}
+
+	labels := make([]int, n)
+	sizes := make([]int, cfg.K)
+	sums := make([][]float64, cfg.K)
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+
+	var iter int
+	for iter = 1; iter <= cfg.MaxIterations; iter++ {
+		// Assignment step.
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cen := range centroids {
+				if d := sqDist(p, cen); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if labels[i] != best || iter == 1 {
+				changed = true
+			}
+			labels[i] = best
+		}
+
+		// Update step.
+		for c := range sums {
+			sizes[c] = 0
+			for d := range sums[c] {
+				sums[c][d] = 0
+			}
+		}
+		for i, p := range points {
+			c := labels[i]
+			sizes[c]++
+			for d, v := range p {
+				sums[c][d] += v
+			}
+		}
+		maxMove := 0.0
+		for c := range centroids {
+			if sizes[c] == 0 {
+				// Re-seed an empty cluster with the globally worst-fitted
+				// point.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d := sqDist(p, centroids[labels[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				centroids[c] = append([]float64(nil), points[far]...)
+				labels[far] = c
+				sizes[c] = 1
+				maxMove = math.Inf(1)
+				continue
+			}
+			move := 0.0
+			for d := range centroids[c] {
+				nv := sums[c][d] / float64(sizes[c])
+				diff := nv - centroids[c][d]
+				move += diff * diff
+				centroids[c][d] = nv
+			}
+			if move > maxMove {
+				maxMove = move
+			}
+		}
+		if !changed || maxMove <= cfg.Tolerance {
+			break
+		}
+	}
+
+	// Final stats.
+	res := &KMeansResult{
+		K:          cfg.K,
+		Centroids:  centroids,
+		Labels:     labels,
+		Iterations: iter,
+		Sizes:      make([]int, cfg.K),
+	}
+	for i, p := range points {
+		res.Sizes[labels[i]]++
+		res.SSE += sqDist(p, centroids[labels[i]])
+	}
+	return res, nil
+}
+
+// seedPlusPlus performs k-means++ seeding into centroids.
+func seedPlusPlus(rng *rand.Rand, points [][]float64, centroids [][]float64) {
+	n := len(points)
+	k := len(centroids)
+	centroids[0] = append([]float64(nil), points[rng.Intn(n)]...)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = sqDist(points[i], centroids[0])
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, d := range dist {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			x := rng.Float64() * total
+			for i, d := range dist {
+				x -= d
+				if x <= 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		centroids[c] = append([]float64(nil), points[pick]...)
+		for i := range dist {
+			if d := sqDist(points[i], centroids[c]); d < dist[i] {
+				dist[i] = d
+			}
+		}
+	}
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between two points.
+func Dist(a, b []float64) float64 {
+	return math.Sqrt(sqDist(a, b))
+}
+
+// SSECurvePoint pairs a K value with the SSE of the best run at that K.
+type SSECurvePoint struct {
+	K   int
+	SSE float64
+}
+
+// SSECurve runs K-means for every K in [kMin, kMax] and returns the SSE
+// trend the elbow method inspects. Each K is run restarts times (≥1) with
+// distinct seeds, keeping the lowest SSE.
+func SSECurve(points [][]float64, kMin, kMax, restarts int, cfg KMeansConfig) ([]SSECurvePoint, error) {
+	if kMin < 1 || kMax < kMin {
+		return nil, fmt.Errorf("cluster: bad K range [%d, %d]", kMin, kMax)
+	}
+	if restarts < 1 {
+		restarts = 1
+	}
+	out := make([]SSECurvePoint, 0, kMax-kMin+1)
+	for k := kMin; k <= kMax; k++ {
+		best := math.Inf(1)
+		for r := 0; r < restarts; r++ {
+			c := cfg
+			c.K = k
+			c.Seed = cfg.Seed + int64(r)*7919 + int64(k)
+			res, err := KMeans(points, c)
+			if err != nil {
+				return nil, err
+			}
+			if res.SSE < best {
+				best = res.SSE
+			}
+		}
+		out = append(out, SSECurvePoint{K: k, SSE: best})
+	}
+	return out, nil
+}
+
+// ElbowK picks the K "where the marginal decrease in the SSE curve is
+// maximized" (Tan et al., as cited by the paper). With both axes
+// normalized to [0,1], the elbow is the curve point farthest from the
+// chord joining the curve's endpoints — the geometric reading of the
+// criterion that is robust to the very large SSE drop at small K. Curves
+// with fewer than three points return the smallest K.
+func ElbowK(curve []SSECurvePoint) (int, error) {
+	if len(curve) == 0 {
+		return 0, errors.New("cluster: empty SSE curve")
+	}
+	if len(curve) < 3 {
+		return curve[0].K, nil
+	}
+	n := len(curve)
+	minSSE, maxSSE := curve[0].SSE, curve[0].SSE
+	for _, p := range curve {
+		if p.SSE < minSSE {
+			minSSE = p.SSE
+		}
+		if p.SSE > maxSSE {
+			maxSSE = p.SSE
+		}
+	}
+	span := maxSSE - minSSE
+	if span == 0 {
+		return curve[0].K, nil
+	}
+	// Normalized coordinates: x in [0,1] over index, y in [0,1] over SSE.
+	// Chord runs from the first to the last point.
+	x1, y1 := 0.0, (curve[0].SSE-minSSE)/span
+	x2, y2 := 1.0, (curve[n-1].SSE-minSSE)/span
+	den := math.Hypot(y2-y1, x2-x1)
+	bestK := curve[0].K
+	bestD := math.Inf(-1)
+	for i, p := range curve {
+		x := float64(i) / float64(n-1)
+		y := (p.SSE - minSSE) / span
+		d := math.Abs((y2-y1)*x-(x2-x1)*y+x2*y1-y2*x1) / den
+		if d > bestD {
+			bestD = d
+			bestK = p.K
+		}
+	}
+	return bestK, nil
+}

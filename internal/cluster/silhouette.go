@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+)
+
+// Silhouette returns the mean silhouette coefficient of a labelled
+// clustering: for each point, (b-a)/max(a,b) where a is the mean distance
+// to its own cluster and b the smallest mean distance to another cluster.
+// Points labelled Noise and singleton clusters contribute 0. The index is
+// O(n²); callers sample when n is large.
+func Silhouette(points [][]float64, labels []int) (float64, error) {
+	n := len(points)
+	if n == 0 || len(labels) != n {
+		return 0, errors.New("cluster: silhouette needs matching points and labels")
+	}
+	// Cluster populations.
+	sizes := make(map[int]int)
+	for _, l := range labels {
+		if l != Noise {
+			sizes[l]++
+		}
+	}
+	if len(sizes) < 2 {
+		return 0, errors.New("cluster: silhouette needs at least two clusters")
+	}
+	var total float64
+	var counted int
+	sums := make(map[int]float64)
+	for i := 0; i < n; i++ {
+		li := labels[i]
+		if li == Noise || sizes[li] < 2 {
+			continue
+		}
+		for k := range sums {
+			delete(sums, k)
+		}
+		for j := 0; j < n; j++ {
+			if i == j || labels[j] == Noise {
+				continue
+			}
+			sums[labels[j]] += Dist(points[i], points[j])
+		}
+		a := sums[li] / float64(sizes[li]-1)
+		b := math.Inf(1)
+		for l, s := range sums {
+			if l == li {
+				continue
+			}
+			if m := s / float64(sizes[l]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+		counted++
+	}
+	if counted == 0 {
+		return 0, errors.New("cluster: no point eligible for silhouette")
+	}
+	return total / float64(counted), nil
+}

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"indice/internal/assoc"
+	"indice/internal/cart"
+	"indice/internal/cluster"
+	"indice/internal/epc"
+	"indice/internal/stats"
+)
+
+// AnalysisConfig parameterizes the analytics tier.
+type AnalysisConfig struct {
+	// Attributes is the clustering subset (default: the paper's five
+	// thermo-physical attributes).
+	Attributes []string
+	// Response is the independent response variable (default EPH).
+	Response string
+	// CorrelationThreshold is the |ρ| above which the attribute subset is
+	// reported as correlated (default 0.8; the subset is still analyzed).
+	CorrelationThreshold float64
+	// KMin, KMax bound the SSE-curve sweep (default 2..10).
+	KMin, KMax int
+	// Restarts per K (default 3).
+	Restarts int
+	// Seed drives K-means initialization.
+	Seed int64
+	// MinSupport / MinConfidence / MinLift gate the association rules
+	// (defaults 0.05 / 0.6 / 1.1).
+	MinSupport    float64
+	MinConfidence float64
+	MinLift       float64
+	// UseFPGrowth mines frequent itemsets with FP-Growth instead of
+	// Apriori (identical results, different cost profile; see the
+	// internal/assoc benches).
+	UseFPGrowth bool
+	// HierarchicalSample, when positive, additionally builds an
+	// agglomerative dendrogram (average linkage) over a deterministic
+	// sample of at most that many complete rows — the benchmarking view
+	// of the energy-scientist dashboard. The construction is O(n²) in the
+	// sample size; values ≲ 200 keep it instant.
+	HierarchicalSample int
+	// ExtraRuleAttrs are categorical attributes mined alongside the
+	// discretized numeric ones (default: energy class and construction
+	// era).
+	ExtraRuleAttrs []string
+	// CART bounds the discretization trees.
+	CART cart.Config
+}
+
+// DefaultAnalysisConfig mirrors the paper's case study.
+func DefaultAnalysisConfig() AnalysisConfig {
+	return AnalysisConfig{
+		Attributes:           append([]string(nil), epc.CaseStudyAttributes...),
+		Response:             epc.AttrEPH,
+		CorrelationThreshold: 0.8,
+		KMin:                 2,
+		KMax:                 10,
+		Restarts:             3,
+		Seed:                 1,
+		MinSupport:           0.05,
+		MinConfidence:        0.6,
+		MinLift:              1.1,
+		ExtraRuleAttrs:       []string{epc.AttrEnergyClass, epc.AttrConstructionEra},
+		// Depth-2 trees yield at most 4 classes per attribute, matching
+		// the footnote-4 discretizations (Uw 4 classes, Uo 3, ETAH 3).
+		CART: cart.Config{MaxDepth: 2, MinLeaf: 30, MinImprove: 1e-3},
+	}
+}
+
+// Analysis is the analytics-tier output the dashboards visualize.
+type Analysis struct {
+	Attributes []string
+	Response   string
+	// Correlations is the pairwise Pearson matrix over attributes plus
+	// the response.
+	Correlations *stats.CorrelationMatrix
+	// WeaklyCorrelated reports whether the clustering subset passed the
+	// eligibility check.
+	WeaklyCorrelated bool
+	// SSECurve and ChosenK document the elbow selection.
+	SSECurve []cluster.SSECurvePoint
+	ChosenK  int
+	// Clustering is the final K-means run at ChosenK.
+	Clustering *cluster.KMeansResult
+	// RowLabels maps every table row to its cluster (-1 for rows with
+	// missing values that were excluded from clustering).
+	RowLabels []int
+	// ClusterResponseMeans is the mean response per cluster.
+	ClusterResponseMeans []float64
+	// Binnings are the CART discretizations, one per attribute plus the
+	// response.
+	Binnings map[string]*cart.Binning
+	// Rules are the mined association rules, sorted by lift.
+	Rules []assoc.Rule
+	// Dendrogram is the optional hierarchical-clustering view over a
+	// sample (nil unless AnalysisConfig.HierarchicalSample > 0).
+	Dendrogram *cluster.Dendrogram
+}
+
+// Analyze runs the analytics tier over the engine's current table.
+func (e *Engine) Analyze(cfg AnalysisConfig) (*Analysis, error) {
+	if len(cfg.Attributes) == 0 {
+		cfg.Attributes = append([]string(nil), epc.CaseStudyAttributes...)
+	}
+	if cfg.Response == "" {
+		cfg.Response = epc.AttrEPH
+	}
+	if cfg.CorrelationThreshold <= 0 {
+		cfg.CorrelationThreshold = 0.8
+	}
+	if cfg.KMin < 2 {
+		cfg.KMin = 2
+	}
+	if cfg.KMax < cfg.KMin {
+		cfg.KMax = cfg.KMin + 8
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 3
+	}
+	if cfg.MinSupport <= 0 {
+		cfg.MinSupport = 0.05
+	}
+	if cfg.MinConfidence <= 0 {
+		cfg.MinConfidence = 0.6
+	}
+
+	an := &Analysis{
+		Attributes: append([]string(nil), cfg.Attributes...),
+		Response:   cfg.Response,
+		Binnings:   make(map[string]*cart.Binning),
+	}
+
+	// 1. Correlation eligibility check over attributes + response.
+	names := append(append([]string(nil), cfg.Attributes...), cfg.Response)
+	cols := make([][]float64, len(names))
+	for i, n := range names {
+		v, err := e.tab.Floats(n)
+		if err != nil {
+			return nil, fmt.Errorf("core: analyze: %w", err)
+		}
+		cols[i] = v
+	}
+	corr, err := stats.NewCorrelationMatrix(names, cols)
+	if err != nil {
+		return nil, fmt.Errorf("core: analyze: %w", err)
+	}
+	an.Correlations = corr
+	// Eligibility concerns the clustering attributes only (the response
+	// may — should — correlate with them).
+	sub, err := stats.NewCorrelationMatrix(cfg.Attributes, cols[:len(cfg.Attributes)])
+	if err != nil {
+		return nil, err
+	}
+	an.WeaklyCorrelated = sub.WeaklyCorrelated(cfg.CorrelationThreshold)
+
+	// 2. K-means with SSE-elbow K on min-max normalized attributes.
+	mat, rowIdx, err := e.tab.Matrix(cfg.Attributes...)
+	if err != nil {
+		return nil, fmt.Errorf("core: analyze: %w", err)
+	}
+	if len(mat) < cfg.KMax {
+		return nil, fmt.Errorf("core: analyze: %d complete rows, need at least %d", len(mat), cfg.KMax)
+	}
+	norm := normalizeColumns(mat)
+	kcfg := cluster.KMeansConfig{Seed: cfg.Seed}
+	curve, err := cluster.SSECurve(norm, cfg.KMin, cfg.KMax, cfg.Restarts, kcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: analyze: %w", err)
+	}
+	an.SSECurve = curve
+	k, err := cluster.ElbowK(curve)
+	if err != nil {
+		return nil, err
+	}
+	an.ChosenK = k
+	kcfg.K = k
+	best, err := cluster.KMeans(norm, kcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: analyze: %w", err)
+	}
+	for r := 1; r < cfg.Restarts; r++ {
+		c := kcfg
+		c.Seed = cfg.Seed + int64(r)*7919 + int64(k)
+		res, err := cluster.KMeans(norm, c)
+		if err != nil {
+			return nil, err
+		}
+		if res.SSE < best.SSE {
+			best = res
+		}
+	}
+	an.Clustering = best
+	an.RowLabels = make([]int, e.tab.NumRows())
+	for i := range an.RowLabels {
+		an.RowLabels[i] = -1
+	}
+	for mi, row := range rowIdx {
+		an.RowLabels[row] = best.Labels[mi]
+	}
+
+	// Per-cluster response means.
+	resp, err := e.tab.Floats(cfg.Response)
+	if err != nil {
+		return nil, err
+	}
+	respValid, _ := e.tab.ValidMask(cfg.Response)
+	sums := make([]float64, k)
+	counts := make([]int, k)
+	for row, l := range an.RowLabels {
+		if l < 0 || !respValid[row] {
+			continue
+		}
+		sums[l] += resp[row]
+		counts[l]++
+	}
+	an.ClusterResponseMeans = make([]float64, k)
+	for c := 0; c < k; c++ {
+		if counts[c] > 0 {
+			an.ClusterResponseMeans[c] = sums[c] / float64(counts[c])
+		} else {
+			an.ClusterResponseMeans[c] = math.NaN()
+		}
+	}
+
+	// 3. CART discretization of every attribute (and the response)
+	// against the response, then association-rule mining.
+	respClean := resp
+	for _, attr := range cfg.Attributes {
+		xs, err := e.tab.Floats(attr)
+		if err != nil {
+			return nil, err
+		}
+		b, err := cart.Discretize(attr, xs, respClean, cfg.CART)
+		if err != nil {
+			return nil, fmt.Errorf("core: analyze: %w", err)
+		}
+		an.Binnings[attr] = b
+	}
+	rb, err := cart.Discretize(cfg.Response, respClean, respClean, cfg.CART)
+	if err != nil {
+		return nil, fmt.Errorf("core: analyze: %w", err)
+	}
+	an.Binnings[cfg.Response] = rb
+
+	txs, err := e.transactions(cfg, an)
+	if err != nil {
+		return nil, err
+	}
+	miner, err := assoc.NewMiner(txs)
+	if err != nil {
+		return nil, fmt.Errorf("core: analyze: %w", err)
+	}
+	mineCfg := assoc.MiningConfig{MinSupport: cfg.MinSupport, MaxLen: 3}
+	var frequent []assoc.FrequentItemset
+	if cfg.UseFPGrowth {
+		frequent, err = miner.FrequentItemsetsFP(mineCfg)
+	} else {
+		frequent, err = miner.FrequentItemsets(mineCfg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: analyze: %w", err)
+	}
+	rules, err := miner.Rules(frequent, assoc.RuleConfig{
+		MinConfidence:    cfg.MinConfidence,
+		MinLift:          cfg.MinLift,
+		MaxConsequentLen: 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: analyze: %w", err)
+	}
+	an.Rules = rules
+
+	// 4. Optional hierarchical view over a sample.
+	if cfg.HierarchicalSample > 0 {
+		sample := norm
+		if len(sample) > cfg.HierarchicalSample {
+			stride := len(sample) / cfg.HierarchicalSample
+			s := make([][]float64, 0, cfg.HierarchicalSample)
+			for i := 0; i < len(sample) && len(s) < cfg.HierarchicalSample; i += stride {
+				s = append(s, sample[i])
+			}
+			sample = s
+		}
+		dg, err := cluster.Hierarchical(sample, cluster.AverageLinkage)
+		if err != nil {
+			return nil, fmt.Errorf("core: analyze: %w", err)
+		}
+		an.Dendrogram = dg
+	}
+	return an, nil
+}
+
+// transactions converts the table into the transactional dataset of the
+// rule miner: discretized numeric attributes plus the extra categorical
+// attributes.
+func (e *Engine) transactions(cfg AnalysisConfig, an *Analysis) ([]assoc.Transaction, error) {
+	n := e.tab.NumRows()
+	txs := make([]assoc.Transaction, n)
+	for attr, binning := range an.Binnings {
+		xs, err := e.tab.Floats(attr)
+		if err != nil {
+			return nil, err
+		}
+		valid, _ := e.tab.ValidMask(attr)
+		for i := 0; i < n; i++ {
+			if !valid[i] {
+				continue
+			}
+			cls := binning.Assign(xs[i])
+			if cls == "" {
+				continue
+			}
+			txs[i] = append(txs[i], assoc.Item{Attr: attr, Value: cls})
+		}
+	}
+	for _, attr := range cfg.ExtraRuleAttrs {
+		if !e.tab.HasColumn(attr) {
+			continue
+		}
+		vs, err := e.tab.Strings(attr)
+		if err != nil {
+			return nil, fmt.Errorf("core: rule attribute %q: %w", attr, err)
+		}
+		valid, _ := e.tab.ValidMask(attr)
+		for i := 0; i < n; i++ {
+			if valid[i] && vs[i] != "" {
+				txs[i] = append(txs[i], assoc.Item{Attr: attr, Value: vs[i]})
+			}
+		}
+	}
+	return txs, nil
+}
+
+func normalizeColumns(mat [][]float64) [][]float64 {
+	if len(mat) == 0 {
+		return nil
+	}
+	dim := len(mat[0])
+	mins := make([]float64, dim)
+	maxs := make([]float64, dim)
+	for d := range mins {
+		mins[d], maxs[d] = math.Inf(1), math.Inf(-1)
+	}
+	for _, r := range mat {
+		for d, v := range r {
+			if v < mins[d] {
+				mins[d] = v
+			}
+			if v > maxs[d] {
+				maxs[d] = v
+			}
+		}
+	}
+	out := make([][]float64, len(mat))
+	for i, r := range mat {
+		nr := make([]float64, dim)
+		for d, v := range r {
+			if span := maxs[d] - mins[d]; span > 0 {
+				nr[d] = (v - mins[d]) / span
+			}
+		}
+		out[i] = nr
+	}
+	return out
+}
+
+// ErrNoAnalysis is returned by Dashboard when the analysis is nil but the
+// stakeholder's proposal requires analytic panels.
+var ErrNoAnalysis = errors.New("core: stakeholder proposal requires an Analysis")

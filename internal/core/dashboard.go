@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"indice/internal/assoc"
+	"indice/internal/dashboard"
+	"indice/internal/epc"
+	"indice/internal/geo"
+	"indice/internal/query"
+	"indice/internal/render"
+)
+
+// Dashboard assembles the informative dashboard HTML for a stakeholder,
+// following the automatically proposed report set. The analysis argument
+// may be nil only for stakeholders whose proposal contains no analytic
+// panel; PA and energy-scientist dashboards require one.
+func (e *Engine) Dashboard(s query.Stakeholder, an *Analysis) (string, error) {
+	prop, err := query.ProposalFor(s)
+	if err != nil {
+		return "", err
+	}
+	page := render.NewPage(fmt.Sprintf("INDICE — %s dashboard", s))
+	page.AddParagraph(fmt.Sprintf(
+		"%d certificates at %s granularity. Proposed attribute subset: %v (response: %s).",
+		e.tab.NumRows(), prop.Level, prop.Attributes, prop.Response))
+
+	for _, kind := range prop.Reports {
+		switch kind {
+		case query.ReportChoropleth:
+			svg, _, err := dashboard.RenderMap(e.tab, e.hier, dashboard.MapSpec{
+				Title: "Average " + prop.Response + " by neighbourhood",
+				Level: geo.LevelNeighbourhood,
+				Attr:  prop.Response,
+			})
+			if err != nil {
+				return "", fmt.Errorf("core: dashboard: %w", err)
+			}
+			page.AddHeading("Choropleth energy map")
+			page.AddSVG(svg)
+		case query.ReportScatterMap:
+			svg, _, err := dashboard.RenderMap(e.tab, e.hier, dashboard.MapSpec{
+				Title: prop.Response + " per housing unit",
+				Level: geo.LevelUnit,
+				Attr:  prop.Response,
+			})
+			if err != nil {
+				return "", fmt.Errorf("core: dashboard: %w", err)
+			}
+			page.AddHeading("Scatter energy map")
+			page.AddSVG(svg)
+		case query.ReportClusterMarker:
+			page.AddHeading("Cluster-marker maps")
+			svg, _, err := dashboard.RenderMap(e.tab, e.hier, dashboard.MapSpec{
+				Title: "Certificates per district (avg " + prop.Response + ")",
+				Level: geo.LevelDistrict,
+				Attr:  prop.Response,
+			})
+			if err != nil {
+				return "", fmt.Errorf("core: dashboard: %w", err)
+			}
+			if an != nil && an.Clustering != nil {
+				ms, err := dashboard.ClusterMarkers(e.tab, an.RowLabels, prop.Response)
+				if err != nil {
+					return "", fmt.Errorf("core: dashboard: %w", err)
+				}
+				csvg, err := render.ClusterMarkerMap(
+					fmt.Sprintf("K-means clusters (K=%d, avg %s)", an.ChosenK, prop.Response),
+					ms, e.hier.City().Ring.Bounds(), 560, 460)
+				if err != nil {
+					return "", err
+				}
+				page.AddSVGRow(svg, csvg)
+			} else {
+				page.AddSVG(svg)
+			}
+		case query.ReportDistribution:
+			page.AddHeading("Frequency distributions")
+			rows := make([][]string, 0, len(prop.Attributes))
+			var svgs []string
+			for _, attr := range prop.Attributes {
+				p, err := dashboard.NewDistributionPanel(e.tab, attr, 20, 380, 240)
+				if err != nil {
+					return "", fmt.Errorf("core: dashboard: %w", err)
+				}
+				svgs = append(svgs, p.SVG)
+				rows = append(rows, p.StatsRow())
+			}
+			page.AddSVGRow(svgs...)
+			if err := page.AddTable(dashboard.StatsHeader(), rows); err != nil {
+				return "", err
+			}
+			if an != nil && an.Clustering != nil {
+				labels := make([]string, an.ChosenK)
+				sizes := make([]float64, an.ChosenK)
+				for c := 0; c < an.ChosenK; c++ {
+					labels[c] = fmt.Sprintf("C%d", c)
+					sizes[c] = float64(an.Clustering.Sizes[c])
+				}
+				bc, err := render.BarChart("Cluster cardinalities", labels, sizes, 380, 240)
+				if err != nil {
+					return "", err
+				}
+				means := make([]float64, an.ChosenK)
+				for c, m := range an.ClusterResponseMeans {
+					if !math.IsNaN(m) {
+						means[c] = m
+					}
+				}
+				mc, err := render.BarChart("Mean "+prop.Response+" per cluster", labels, means, 380, 240)
+				if err != nil {
+					return "", err
+				}
+				page.AddSVGRow(bc, mc)
+			}
+		case query.ReportCorrelation:
+			if an == nil {
+				return "", ErrNoAnalysis
+			}
+			svg, err := render.CorrelationMatrixPlot(
+				"Pearson correlation (grayscale: dark = strong)", an.Correlations, 560)
+			if err != nil {
+				return "", err
+			}
+			page.AddHeading("Correlation matrix")
+			if an.WeaklyCorrelated {
+				page.AddParagraph("All attribute pairs are weakly correlated: the subset is eligible for the analytic task.")
+			} else {
+				page.AddParagraph("Warning: strongly correlated attribute pairs detected; consider removing redundant attributes.")
+			}
+			page.AddSVG(svg)
+		case query.ReportClusterering:
+			if an == nil {
+				return "", ErrNoAnalysis
+			}
+			ks := make([]int, len(an.SSECurve))
+			sses := make([]float64, len(an.SSECurve))
+			for i, p := range an.SSECurve {
+				ks[i] = p.K
+				sses[i] = p.SSE
+			}
+			svg, err := render.SSECurveChart("SSE curve (elbow)", ks, sses, an.ChosenK, 420, 260)
+			if err != nil {
+				return "", err
+			}
+			page.AddHeading(fmt.Sprintf("Cluster analysis (K = %d by the elbow method)", an.ChosenK))
+			if an.Dendrogram != nil {
+				dsvg, err := render.DendrogramChart(
+					fmt.Sprintf("Agglomerative dendrogram (%d-row sample, average linkage)", an.Dendrogram.N),
+					an.Dendrogram, 560, 320)
+				if err != nil {
+					return "", err
+				}
+				page.AddSVGRow(svg, dsvg)
+			} else {
+				page.AddSVG(svg)
+			}
+		case query.ReportRules:
+			if an == nil {
+				return "", ErrNoAnalysis
+			}
+			page.AddHeading("Association rules")
+			for _, attr := range an.Attributes {
+				if b, ok := an.Binnings[attr]; ok {
+					page.AddParagraph(b.String())
+				}
+			}
+			top := assoc.TopK(an.Rules, assoc.ByLift, 20)
+			page.AddPre(assoc.FormatTable(top))
+		}
+	}
+
+	// Energy class breakdown closes every dashboard when available.
+	if e.tab.HasColumn(epc.AttrEnergyClass) {
+		svg, _, err := dashboard.CategoricalPanel(e.tab, epc.AttrEnergyClass, 10, 420, 240)
+		if err == nil {
+			page.AddHeading("Energy class breakdown")
+			page.AddSVG(svg)
+		}
+	}
+	return page.String(), nil
+}

@@ -1,0 +1,275 @@
+// Package core exposes INDICE's public pipeline: an Engine that wires the
+// three tiers of the framework together — data pre-processing (geospatial
+// cleaning and outlier removal), data selection and analytics (querying,
+// K-means with automatic K, CART discretization, association rules), and
+// data & knowledge visualization (the informative dashboards).
+//
+// Typical use:
+//
+//	eng, _ := core.NewEngine(tab, hierarchy, core.Options{StreetMap: sm, Geocoder: gc})
+//	pre, _ := eng.Preprocess(core.DefaultPreprocessConfig())
+//	an, _  := eng.Analyze(core.DefaultAnalysisConfig())
+//	html, _ := eng.Dashboard(query.PublicAdministration, an)
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"indice/internal/epc"
+	"indice/internal/geo"
+	"indice/internal/geocode"
+	"indice/internal/outlier"
+	"indice/internal/query"
+	"indice/internal/table"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// StreetMap is the referenced street registry for geospatial
+	// cleaning; nil disables the cleaning step.
+	StreetMap *geocode.StreetMap
+	// Geocoder is the remote fallback; nil disables the fallback.
+	Geocoder geocode.Geocoder
+	// Suggestions records expert outlier configurations; nil creates an
+	// empty store.
+	Suggestions *outlier.SuggestionStore
+}
+
+// Engine orchestrates the INDICE pipeline over one EPC collection.
+type Engine struct {
+	tab         *table.Table
+	hier        *geo.Hierarchy
+	streetMap   *geocode.StreetMap
+	geocoder    geocode.Geocoder
+	suggestions *outlier.SuggestionStore
+}
+
+// NewEngine wraps an EPC table and its administrative hierarchy. The table
+// is used as-is (not copied): Preprocess replaces it internally with the
+// cleaned version.
+func NewEngine(t *table.Table, h *geo.Hierarchy, opts Options) (*Engine, error) {
+	if t == nil || t.NumRows() == 0 {
+		return nil, errors.New("core: engine needs a non-empty table")
+	}
+	if h == nil {
+		return nil, errors.New("core: engine needs an administrative hierarchy")
+	}
+	for _, required := range []string{
+		epc.AttrLatitude, epc.AttrLongitude, epc.AttrEPH,
+	} {
+		if !t.HasColumn(required) {
+			return nil, fmt.Errorf("core: table lacks required attribute %q", required)
+		}
+	}
+	sug := opts.Suggestions
+	if sug == nil {
+		sug = outlier.NewSuggestionStore()
+	}
+	return &Engine{
+		tab:         t,
+		hier:        h,
+		streetMap:   opts.StreetMap,
+		geocoder:    opts.Geocoder,
+		suggestions: sug,
+	}, nil
+}
+
+// Table returns the engine's current table (cleaned after Preprocess).
+func (e *Engine) Table() *table.Table { return e.tab }
+
+// Hierarchy returns the administrative hierarchy.
+func (e *Engine) Hierarchy() *geo.Hierarchy { return e.hier }
+
+// Suggestions returns the expert configuration store.
+func (e *Engine) Suggestions() *outlier.SuggestionStore { return e.suggestions }
+
+// Select replaces the engine's table with the subset matching p and
+// returns the new row count. This is the querying-engine entry point.
+func (e *Engine) Select(p query.Predicate) (int, error) {
+	sub, err := query.Select(e.tab, p)
+	if err != nil {
+		return 0, err
+	}
+	if sub.NumRows() == 0 {
+		return 0, errors.New("core: selection matched no certificate")
+	}
+	e.tab = sub
+	return sub.NumRows(), nil
+}
+
+// PreprocessConfig parameterizes the pre-processing tier.
+type PreprocessConfig struct {
+	// Clean is the geospatial cleaning configuration.
+	Clean geocode.CleanConfig
+	// SkipCleaning disables the geospatial step even when a street map is
+	// available.
+	SkipCleaning bool
+	// OutlierAttrs are the attributes screened univariately; defaults to
+	// the paper's relevant thermo-physical set.
+	OutlierAttrs []string
+	// Univariate is the detection configuration; when Method is empty the
+	// expert suggestion store picks one (the non-expert path).
+	Univariate outlier.Config
+	// Expert marks this run's configuration as expert-provided; it is
+	// then recorded in the suggestion store for future non-expert users.
+	Expert bool
+	// Multivariate enables the DBSCAN screen over OutlierAttrs.
+	Multivariate bool
+	// MultivariateCfg tunes the DBSCAN screen.
+	MultivariateCfg outlier.MultivariateConfig
+	// DropOutliers removes flagged rows from the working table.
+	DropOutliers bool
+}
+
+// DefaultPreprocessConfig mirrors the paper's pre-processing: clean
+// geo-coordinates with ϕ=0.8, screen the five thermo-physical attributes
+// plus the subsystem efficiencies with MAD (3.5 cutoff), drop flagged rows.
+func DefaultPreprocessConfig() PreprocessConfig {
+	return PreprocessConfig{
+		Clean: geocode.DefaultCleanConfig(),
+		OutlierAttrs: append(append([]string(nil), epc.CaseStudyAttributes...),
+			"distribution_efficiency", "generation_efficiency"),
+		Univariate:   outlier.DefaultConfig(outlier.MethodMAD),
+		Expert:       true,
+		DropOutliers: true,
+	}
+}
+
+// PreprocessReport summarizes the pre-processing tier.
+type PreprocessReport struct {
+	// Cleaning is nil when the geospatial step was skipped.
+	Cleaning *geocode.Report
+	// Univariate holds the per-attribute detection results.
+	Univariate []*outlier.Result
+	// UnivariateMethod records which method ran (relevant on the
+	// suggestion path).
+	UnivariateMethod outlier.Method
+	// Suggested is true when the method came from the expert store.
+	Suggested bool
+	// Multivariate is nil unless the DBSCAN screen ran.
+	Multivariate *outlier.MultivariateResult
+	// OutlierRows is the union of flagged rows (indices into the table
+	// before dropping).
+	OutlierRows []int
+	// RowsBefore/RowsAfter document the removal.
+	RowsBefore, RowsAfter int
+}
+
+// Preprocess runs the pre-processing tier and, when configured, replaces
+// the engine's table with the cleaned one.
+func (e *Engine) Preprocess(cfg PreprocessConfig) (*PreprocessReport, error) {
+	rep := &PreprocessReport{RowsBefore: e.tab.NumRows()}
+
+	if !cfg.SkipCleaning && e.streetMap != nil {
+		cl, err := geocode.NewCleaner(e.streetMap, e.geocoder, cfg.Clean)
+		if err != nil {
+			return nil, fmt.Errorf("core: preprocess: %w", err)
+		}
+		work := e.tab.Clone()
+		crep, err := cl.Clean(work)
+		if err != nil {
+			return nil, fmt.Errorf("core: preprocess: %w", err)
+		}
+		e.tab = work
+		rep.Cleaning = crep
+		// Refresh the administrative labels from the reconciled
+		// coordinates when the columns exist.
+		if e.tab.HasColumn(epc.AttrDistrict) && e.tab.HasColumn(epc.AttrNeighbourhood) {
+			if err := e.reassignZones(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	attrs := cfg.OutlierAttrs
+	if len(attrs) == 0 {
+		attrs = append([]string(nil), epc.CaseStudyAttributes...)
+	}
+	ucfg := cfg.Univariate
+	if ucfg.Method == "" {
+		// Non-expert path: consult the expert suggestion store.
+		suggested, ok := e.suggestions.Suggest(attrs[0])
+		ucfg = suggested
+		rep.Suggested = ok
+	} else if cfg.Expert {
+		for _, a := range attrs {
+			e.suggestions.Record(outlier.UsageRecord{Attr: a, Config: ucfg, Expert: true})
+		}
+	}
+	rep.UnivariateMethod = ucfg.Method
+
+	results, union, err := outlier.DetectColumns(e.tab, attrs, ucfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: preprocess: %w", err)
+	}
+	rep.Univariate = results
+	flagged := map[int]struct{}{}
+	for _, r := range union {
+		flagged[r] = struct{}{}
+	}
+
+	if cfg.Multivariate {
+		mres, err := outlier.DetectMultivariate(e.tab, attrs, cfg.MultivariateCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: preprocess: %w", err)
+		}
+		rep.Multivariate = mres
+		for _, r := range mres.Rows {
+			flagged[r] = struct{}{}
+		}
+	}
+
+	rep.OutlierRows = make([]int, 0, len(flagged))
+	for r := range flagged {
+		rep.OutlierRows = append(rep.OutlierRows, r)
+	}
+	sortInts(rep.OutlierRows)
+
+	if cfg.DropOutliers && len(rep.OutlierRows) > 0 {
+		cleaned, err := outlier.RemoveRows(e.tab, rep.OutlierRows)
+		if err != nil {
+			return nil, fmt.Errorf("core: preprocess: %w", err)
+		}
+		e.tab = cleaned
+	}
+	rep.RowsAfter = e.tab.NumRows()
+	return rep, nil
+}
+
+// reassignZones recomputes district and neighbourhood labels from the
+// (cleaned) coordinates.
+func (e *Engine) reassignZones() error {
+	lat, err := e.tab.Floats(epc.AttrLatitude)
+	if err != nil {
+		return err
+	}
+	lon, _ := e.tab.Floats(epc.AttrLongitude)
+	pts := make([]geo.Point, len(lat))
+	for i := range lat {
+		pts[i] = geo.Point{Lat: lat[i], Lon: lon[i]}
+	}
+	dist := e.hier.Assign(pts, geo.LevelDistrict)
+	neigh := e.hier.Assign(pts, geo.LevelNeighbourhood)
+	for i := range pts {
+		if dist[i] != "" {
+			if err := e.tab.SetString(epc.AttrDistrict, i, dist[i]); err != nil {
+				return err
+			}
+		}
+		if neigh[i] != "" {
+			if err := e.tab.SetString(epc.AttrNeighbourhood, i, neigh[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,290 @@
+// Package epc defines the Energy Performance Certificate domain model used
+// across INDICE: the canonical 132-attribute schema (89 categorical and 43
+// quantitative attributes, matching the Piedmont open-data dump the paper
+// analyzes), typed accessors for the attributes the case study works with,
+// the Italian energy-class ladder, and table validation.
+package epc
+
+// Kind distinguishes quantitative from categorical attributes.
+type Kind int
+
+const (
+	// Numeric marks a quantitative attribute.
+	Numeric Kind = iota
+	// Categorical marks a discrete attribute.
+	Categorical
+)
+
+// AttrSpec describes one attribute of the EPC schema.
+type AttrSpec struct {
+	// Name is the canonical snake_case column name.
+	Name string
+	// Kind is Numeric or Categorical.
+	Kind Kind
+	// Levels enumerates the admissible values of a categorical attribute.
+	// Free-text attributes (addresses, identifiers) have nil Levels.
+	Levels []string
+	// Min and Max bound the plausible range of a numeric attribute; the
+	// synthetic generator and the validator both use them.
+	Min, Max float64
+	// Doc is a one-line description.
+	Doc string
+}
+
+// Names of the attributes the paper's case study manipulates directly.
+const (
+	// AttrAspectRatio is the S/V aspect ratio (geometric shape factor).
+	AttrAspectRatio = "aspect_ratio"
+	// AttrUOpaque is the average U-value of the vertical opaque envelope.
+	AttrUOpaque = "u_opaque"
+	// AttrUWindows is the average U-value of the windows.
+	AttrUWindows = "u_windows"
+	// AttrHeatSurface is the heated floor area (Sr).
+	AttrHeatSurface = "heat_surface"
+	// AttrETAH is the average global efficiency for space heating.
+	AttrETAH = "etah"
+	// AttrEPH is the normalized primary heating energy consumption, the
+	// response variable of the case study.
+	AttrEPH = "eph"
+	// AttrLatitude and AttrLongitude geolocate the housing unit.
+	AttrLatitude  = "latitude"
+	AttrLongitude = "longitude"
+	// AttrAddress, AttrHouseNumber and AttrZIP are the free-text location
+	// fields the geospatial cleaning step reconciles.
+	AttrAddress     = "address"
+	AttrHouseNumber = "house_number"
+	AttrZIP         = "zip_code"
+	// AttrCity, AttrDistrict and AttrNeighbourhood are the administrative
+	// labels the dashboards aggregate on.
+	AttrCity          = "city"
+	AttrDistrict      = "district"
+	AttrNeighbourhood = "neighbourhood"
+	// AttrIntendedUse is the destination-of-use code; the case study
+	// filters on E.1.1 (permanent residence).
+	AttrIntendedUse = "intended_use"
+	// AttrEnergyClass is the certified energy class A+..G.
+	AttrEnergyClass = "energy_class"
+	// AttrConstructionEra is the building construction period.
+	AttrConstructionEra = "construction_era"
+	// AttrCertificateID uniquely identifies a certificate.
+	AttrCertificateID = "certificate_id"
+)
+
+// UseResidential is the E.1.1 intended-use code (permanent residences).
+const UseResidential = "E.1.1"
+
+var yesNo = []string{"yes", "no"}
+
+// EnergyClasses is the Italian APE class ladder, best to worst.
+var EnergyClasses = []string{"A4", "A3", "A2", "A1", "B", "C", "D", "E", "F", "G"}
+
+// IntendedUses is the DPR 412/93 destination-of-use taxonomy subset
+// appearing in the Piedmont dump.
+var IntendedUses = []string{
+	"E.1.1", "E.1.2", "E.1.3", "E.2", "E.3", "E.4.1", "E.4.2", "E.4.3",
+	"E.5", "E.6.1", "E.6.2", "E.6.3", "E.7", "E.8",
+}
+
+// ConstructionEras partitions building age; each era carries a distinct
+// thermo-physical archetype in the synthetic generator.
+var ConstructionEras = []string{
+	"pre-1919", "1919-1945", "1946-1960", "1961-1975",
+	"1976-1990", "1991-2005", "2006-2015", "post-2015",
+}
+
+// numericSpecs lists the 43 quantitative attributes.
+var numericSpecs = []AttrSpec{
+	{Name: AttrAspectRatio, Kind: Numeric, Min: 0.2, Max: 1.1, Doc: "S/V aspect ratio of the building [1/m]"},
+	{Name: AttrUOpaque, Kind: Numeric, Min: 0.15, Max: 2.2, Doc: "average U-value of the vertical opaque envelope [W/m2K]"},
+	{Name: AttrUWindows, Kind: Numeric, Min: 0.8, Max: 6.0, Doc: "average U-value of the windows [W/m2K]"},
+	{Name: AttrHeatSurface, Kind: Numeric, Min: 15, Max: 2000, Doc: "heated floor area Sr [m2]"},
+	{Name: AttrETAH, Kind: Numeric, Min: 0.2, Max: 1.1, Doc: "average global efficiency for space heating"},
+	{Name: AttrEPH, Kind: Numeric, Min: 5, Max: 600, Doc: "normalized primary heating energy demand [kWh/m2 y]"},
+	{Name: AttrLatitude, Kind: Numeric, Min: -90, Max: 90, Doc: "WGS84 latitude [deg]"},
+	{Name: AttrLongitude, Kind: Numeric, Min: -180, Max: 180, Doc: "WGS84 longitude [deg]"},
+	{Name: "ep_gl", Kind: Numeric, Min: 10, Max: 800, Doc: "global energy performance index [kWh/m2 y]"},
+	{Name: "ep_w", Kind: Numeric, Min: 2, Max: 80, Doc: "domestic hot water energy index [kWh/m2 y]"},
+	{Name: "ep_c", Kind: Numeric, Min: 0, Max: 60, Doc: "cooling energy index [kWh/m2 y]"},
+	{Name: "ep_v", Kind: Numeric, Min: 0, Max: 30, Doc: "ventilation energy index [kWh/m2 y]"},
+	{Name: "co2_emissions", Kind: Numeric, Min: 1, Max: 160, Doc: "CO2 emissions [kg/m2 y]"},
+	{Name: "renewable_share", Kind: Numeric, Min: 0, Max: 1, Doc: "renewable fraction of primary demand"},
+	{Name: "generation_efficiency", Kind: Numeric, Min: 0.4, Max: 1.2, Doc: "generation subsystem efficiency"},
+	{Name: "distribution_efficiency", Kind: Numeric, Min: 0.5, Max: 1.0, Doc: "distribution subsystem efficiency"},
+	{Name: "emission_efficiency", Kind: Numeric, Min: 0.5, Max: 1.0, Doc: "emission subsystem efficiency"},
+	{Name: "control_efficiency", Kind: Numeric, Min: 0.5, Max: 1.0, Doc: "control subsystem efficiency"},
+	{Name: "etaw", Kind: Numeric, Min: 0.2, Max: 1.1, Doc: "average global efficiency for hot water"},
+	{Name: "heated_volume", Kind: Numeric, Min: 40, Max: 8000, Doc: "heated gross volume [m3]"},
+	{Name: "gross_volume", Kind: Numeric, Min: 50, Max: 10000, Doc: "gross volume [m3]"},
+	{Name: "net_floor_area", Kind: Numeric, Min: 12, Max: 1800, Doc: "net floor area [m2]"},
+	{Name: "opaque_area", Kind: Numeric, Min: 20, Max: 5000, Doc: "opaque envelope area [m2]"},
+	{Name: "glazed_area", Kind: Numeric, Min: 1, Max: 600, Doc: "glazed envelope area [m2]"},
+	{Name: "glazed_ratio", Kind: Numeric, Min: 0.02, Max: 0.5, Doc: "glazed / total envelope ratio"},
+	{Name: "floors", Kind: Numeric, Min: 1, Max: 12, Doc: "number of floors"},
+	{Name: "avg_floor_height", Kind: Numeric, Min: 2.2, Max: 4.5, Doc: "average floor height [m]"},
+	{Name: "u_roof", Kind: Numeric, Min: 0.1, Max: 2.5, Doc: "roof U-value [W/m2K]"},
+	{Name: "u_floor", Kind: Numeric, Min: 0.1, Max: 2.5, Doc: "ground floor U-value [W/m2K]"},
+	{Name: "solar_factor", Kind: Numeric, Min: 0.2, Max: 0.9, Doc: "window solar factor g"},
+	{Name: "thermal_capacity", Kind: Numeric, Min: 80, Max: 400, Doc: "areal thermal capacity [kJ/m2K]"},
+	{Name: "air_change_rate", Kind: Numeric, Min: 0.1, Max: 2.0, Doc: "air change rate [1/h]"},
+	{Name: "degree_days", Kind: Numeric, Min: 1400, Max: 5000, Doc: "heating degree days"},
+	{Name: "design_temp", Kind: Numeric, Min: -20, Max: 5, Doc: "winter design temperature [C]"},
+	{Name: "indoor_temp", Kind: Numeric, Min: 18, Max: 22, Doc: "indoor set-point temperature [C]"},
+	{Name: "nominal_power", Kind: Numeric, Min: 4, Max: 400, Doc: "generator nominal power [kW]"},
+	{Name: "generator_year", Kind: Numeric, Min: 1960, Max: 2018, Doc: "generator installation year"},
+	{Name: "year_built", Kind: Numeric, Min: 1850, Max: 2018, Doc: "construction year"},
+	{Name: "dhw_demand", Kind: Numeric, Min: 1, Max: 60, Doc: "hot water demand [m3/y]"},
+	{Name: "pv_power", Kind: Numeric, Min: 0, Max: 40, Doc: "photovoltaic peak power [kW]"},
+	{Name: "solar_thermal_area", Kind: Numeric, Min: 0, Max: 40, Doc: "solar thermal collector area [m2]"},
+	{Name: "primary_energy_electric", Kind: Numeric, Min: 0, Max: 300, Doc: "electric primary energy [kWh/m2 y]"},
+	{Name: "primary_energy_gas", Kind: Numeric, Min: 0, Max: 700, Doc: "gas primary energy [kWh/m2 y]"},
+}
+
+// categoricalSpecs lists the 89 categorical attributes.
+var categoricalSpecs = []AttrSpec{
+	// Identification and location (18).
+	{Name: AttrCertificateID, Kind: Categorical, Doc: "unique certificate identifier"},
+	{Name: AttrAddress, Kind: Categorical, Doc: "free-text street address"},
+	{Name: AttrHouseNumber, Kind: Categorical, Doc: "civic number"},
+	{Name: AttrZIP, Kind: Categorical, Doc: "postal code"},
+	{Name: AttrCity, Kind: Categorical, Doc: "municipality"},
+	{Name: AttrDistrict, Kind: Categorical, Doc: "administrative district id"},
+	{Name: AttrNeighbourhood, Kind: Categorical, Doc: "neighbourhood id"},
+	{Name: "province", Kind: Categorical, Doc: "province code"},
+	{Name: "region", Kind: Categorical, Doc: "region name"},
+	{Name: AttrIntendedUse, Kind: Categorical, Levels: IntendedUses, Doc: "DPR 412/93 destination of use"},
+	{Name: "building_type", Kind: Categorical, Levels: []string{"detached", "semi-detached", "terraced", "apartment-block", "tower", "mixed-use"}, Doc: "building typology"},
+	{Name: AttrConstructionEra, Kind: Categorical, Levels: ConstructionEras, Doc: "construction period"},
+	{Name: AttrEnergyClass, Kind: Categorical, Levels: EnergyClasses, Doc: "certified energy class"},
+	{Name: "previous_class", Kind: Categorical, Levels: append([]string{"none"}, EnergyClasses...), Doc: "class before renovation, if any"},
+	{Name: "certification_reason", Kind: Categorical, Levels: []string{"new-construction", "sale", "rental", "renovation", "energy-requalification", "other"}, Doc: "why the certificate was issued"},
+	{Name: "certifier_id", Kind: Categorical, Doc: "anonymized certifier identifier"},
+	{Name: "issue_year", Kind: Categorical, Levels: []string{"2016", "2017", "2018"}, Doc: "year of issue"},
+	{Name: "expiry_year", Kind: Categorical, Levels: []string{"2026", "2027", "2028"}, Doc: "year of expiry"},
+	// Envelope (15).
+	{Name: "wall_type", Kind: Categorical, Levels: []string{"solid-brick", "hollow-brick", "stone", "concrete-panel", "cavity-wall", "timber", "insulated-cavity"}, Doc: "dominant wall construction"},
+	{Name: "roof_type", Kind: Categorical, Levels: []string{"pitched-tile", "flat-concrete", "pitched-insulated", "flat-insulated", "green-roof"}, Doc: "roof construction"},
+	{Name: "floor_type", Kind: Categorical, Levels: []string{"slab-on-grade", "suspended", "over-garage", "over-cellar"}, Doc: "ground floor construction"},
+	{Name: "window_frame", Kind: Categorical, Levels: []string{"wood", "aluminium", "aluminium-thermal-break", "pvc", "steel"}, Doc: "window frame material"},
+	{Name: "glazing_type", Kind: Categorical, Levels: []string{"single", "double", "double-lowE", "triple"}, Doc: "glazing"},
+	{Name: "shutter_type", Kind: Categorical, Levels: []string{"none", "roller", "hinged", "venetian"}, Doc: "shutters"},
+	{Name: "insulation_level", Kind: Categorical, Levels: []string{"none", "partial", "full", "external-coat"}, Doc: "envelope insulation"},
+	{Name: "facade_orientation", Kind: Categorical, Levels: []string{"N", "NE", "E", "SE", "S", "SW", "W", "NW"}, Doc: "main facade orientation"},
+	{Name: "shading", Kind: Categorical, Levels: yesNo, Doc: "external shading devices"},
+	{Name: "thermal_bridge_correction", Kind: Categorical, Levels: yesNo, Doc: "thermal bridges corrected"},
+	{Name: "basement_type", Kind: Categorical, Levels: []string{"none", "unheated", "heated"}, Doc: "basement"},
+	{Name: "attic_type", Kind: Categorical, Levels: []string{"none", "unheated", "heated"}, Doc: "attic"},
+	{Name: "envelope_condition", Kind: Categorical, Levels: []string{"poor", "fair", "good", "excellent"}, Doc: "envelope state of repair"},
+	{Name: "window_condition", Kind: Categorical, Levels: []string{"poor", "fair", "good", "excellent"}, Doc: "window state of repair"},
+	{Name: "renovation_level", Kind: Categorical, Levels: []string{"none", "partial", "deep"}, Doc: "renovation depth"},
+	// Heating (14).
+	{Name: "heating_type", Kind: Categorical, Levels: []string{"autonomous", "centralized", "district", "none"}, Doc: "heating system layout"},
+	{Name: "heating_fuel", Kind: Categorical, Levels: []string{"natural-gas", "lpg", "oil", "biomass", "electricity", "district-heat"}, Doc: "heating energy carrier"},
+	{Name: "generator_type", Kind: Categorical, Levels: []string{"standard-boiler", "condensing-boiler", "heat-pump", "stove", "district-substation", "hybrid"}, Doc: "heat generator"},
+	{Name: "emitter_type", Kind: Categorical, Levels: []string{"radiators", "fan-coils", "radiant-floor", "air-ducts", "stove-direct"}, Doc: "heat emitters"},
+	{Name: "distribution_type", Kind: Categorical, Levels: []string{"vertical-columns", "horizontal", "independent", "none"}, Doc: "distribution layout"},
+	{Name: "control_type", Kind: Categorical, Levels: []string{"on-off", "climatic", "zone", "room-by-room"}, Doc: "regulation type"},
+	{Name: "centralized", Kind: Categorical, Levels: yesNo, Doc: "centralized plant"},
+	{Name: "thermostatic_valves", Kind: Categorical, Levels: yesNo, Doc: "thermostatic valves installed"},
+	{Name: "district_heating", Kind: Categorical, Levels: yesNo, Doc: "connected to district heating"},
+	{Name: "condensing_boiler", Kind: Categorical, Levels: yesNo, Doc: "condensing generator"},
+	{Name: "heat_pump_type", Kind: Categorical, Levels: []string{"none", "air-air", "air-water", "ground-water", "water-water"}, Doc: "heat pump type"},
+	{Name: "generator2_present", Kind: Categorical, Levels: yesNo, Doc: "secondary generator installed"},
+	{Name: "generator2_fuel", Kind: Categorical, Levels: []string{"none", "natural-gas", "biomass", "electricity"}, Doc: "secondary generator carrier"},
+	{Name: "heating_schedule", Kind: Categorical, Levels: []string{"continuous", "intermittent", "attenuated"}, Doc: "operation schedule"},
+	// Domestic hot water (6).
+	{Name: "dhw_type", Kind: Categorical, Levels: []string{"combined", "dedicated-boiler", "electric-heater", "heat-pump-water-heater", "solar-backed"}, Doc: "hot water production"},
+	{Name: "dhw_fuel", Kind: Categorical, Levels: []string{"natural-gas", "electricity", "solar", "district-heat"}, Doc: "hot water carrier"},
+	{Name: "dhw_storage", Kind: Categorical, Levels: yesNo, Doc: "storage tank present"},
+	{Name: "dhw_solar_boost", Kind: Categorical, Levels: yesNo, Doc: "solar thermal integration"},
+	{Name: "dhw_centralized", Kind: Categorical, Levels: yesNo, Doc: "centralized hot water"},
+	{Name: "dhw_generator_shared", Kind: Categorical, Levels: yesNo, Doc: "shared with heating generator"},
+	// Cooling and ventilation (7).
+	{Name: "cooling_type", Kind: Categorical, Levels: []string{"none", "split", "multi-split", "centralized", "vrf"}, Doc: "cooling system"},
+	{Name: "cooling_fuel", Kind: Categorical, Levels: []string{"none", "electricity"}, Doc: "cooling carrier"},
+	{Name: "ventilation_type", Kind: Categorical, Levels: []string{"natural", "mechanical-extract", "balanced", "balanced-recovery"}, Doc: "ventilation strategy"},
+	{Name: "mech_ventilation", Kind: Categorical, Levels: yesNo, Doc: "mechanical ventilation present"},
+	{Name: "heat_recovery", Kind: Categorical, Levels: yesNo, Doc: "ventilation heat recovery"},
+	{Name: "dehumidification", Kind: Categorical, Levels: yesNo, Doc: "dehumidification present"},
+	{Name: "summer_shading", Kind: Categorical, Levels: yesNo, Doc: "summer shading strategy"},
+	// Renewables and smart systems (8).
+	{Name: "pv_present", Kind: Categorical, Levels: yesNo, Doc: "photovoltaic plant"},
+	{Name: "solar_thermal_present", Kind: Categorical, Levels: yesNo, Doc: "solar thermal plant"},
+	{Name: "biomass_present", Kind: Categorical, Levels: yesNo, Doc: "biomass generator"},
+	{Name: "geothermal_present", Kind: Categorical, Levels: yesNo, Doc: "geothermal source"},
+	{Name: "smart_meter", Kind: Categorical, Levels: yesNo, Doc: "smart metering"},
+	{Name: "bms_present", Kind: Categorical, Levels: yesNo, Doc: "building management system"},
+	{Name: "ev_charging", Kind: Categorical, Levels: yesNo, Doc: "EV charging point"},
+	{Name: "storage_battery", Kind: Categorical, Levels: yesNo, Doc: "electric storage"},
+	// Compliance and recommendations (10).
+	{Name: "nzeb", Kind: Categorical, Levels: yesNo, Doc: "nearly zero-energy building"},
+	{Name: "min_req_compliance", Kind: Categorical, Levels: yesNo, Doc: "meets minimum requirements"},
+	{Name: "reco_envelope", Kind: Categorical, Levels: yesNo, Doc: "envelope retrofit recommended"},
+	{Name: "reco_systems", Kind: Categorical, Levels: yesNo, Doc: "system retrofit recommended"},
+	{Name: "reco_renewables", Kind: Categorical, Levels: yesNo, Doc: "renewables recommended"},
+	{Name: "reco_lighting", Kind: Categorical, Levels: yesNo, Doc: "lighting retrofit recommended"},
+	{Name: "inspection_done", Kind: Categorical, Levels: yesNo, Doc: "on-site inspection performed"},
+	{Name: "boiler_certified", Kind: Categorical, Levels: yesNo, Doc: "boiler maintenance certified"},
+	{Name: "asbestos_check", Kind: Categorical, Levels: yesNo, Doc: "asbestos survey done"},
+	{Name: "seismic_coupling", Kind: Categorical, Levels: yesNo, Doc: "combined seismic-energy retrofit"},
+	// Administrative codes (11).
+	{Name: "cadastral_category", Kind: Categorical, Levels: []string{"A/1", "A/2", "A/3", "A/4", "A/5", "A/6", "A/7", "A/8"}, Doc: "cadastral category"},
+	{Name: "cadastral_section", Kind: Categorical, Doc: "cadastral section"},
+	{Name: "cadastral_sheet", Kind: Categorical, Doc: "cadastral sheet"},
+	{Name: "cadastral_parcel", Kind: Categorical, Doc: "cadastral parcel"},
+	{Name: "cadastral_subordinate", Kind: Categorical, Doc: "cadastral subordinate"},
+	{Name: "istat_code", Kind: Categorical, Doc: "ISTAT municipality code"},
+	{Name: "climate_zone", Kind: Categorical, Levels: []string{"D", "E", "F"}, Doc: "climate zone (Piedmont is D/E/F)"},
+	{Name: "software_used", Kind: Categorical, Levels: []string{"sw-a", "sw-b", "sw-c", "sw-d"}, Doc: "calculation software"},
+	{Name: "standard_version", Kind: Categorical, Levels: []string{"UNI-TS-11300:2014", "UNI-TS-11300:2016"}, Doc: "calculation standard"},
+	{Name: "submission_channel", Kind: Categorical, Levels: []string{"web", "pec", "desk"}, Doc: "submission channel"},
+	{Name: "data_source", Kind: Categorical, Levels: []string{"declared", "measured", "estimated"}, Doc: "input data provenance"},
+}
+
+// Schema returns the canonical 132-attribute EPC schema: all numeric
+// attributes followed by all categorical ones. The returned slice is a
+// fresh copy.
+func Schema() []AttrSpec {
+	out := make([]AttrSpec, 0, len(numericSpecs)+len(categoricalSpecs))
+	out = append(out, numericSpecs...)
+	out = append(out, categoricalSpecs...)
+	return out
+}
+
+// NumericNames returns the names of the 43 quantitative attributes.
+func NumericNames() []string {
+	out := make([]string, len(numericSpecs))
+	for i, s := range numericSpecs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// CategoricalNames returns the names of the 89 categorical attributes.
+func CategoricalNames() []string {
+	out := make([]string, len(categoricalSpecs))
+	for i, s := range categoricalSpecs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Spec returns the spec of the named attribute.
+func Spec(name string) (AttrSpec, bool) {
+	for _, s := range numericSpecs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	for _, s := range categoricalSpecs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return AttrSpec{}, false
+}
+
+// CaseStudyAttributes are the five thermo-physical attributes the paper's
+// public-administration case study clusters on.
+var CaseStudyAttributes = []string{
+	AttrAspectRatio, AttrUOpaque, AttrUWindows, AttrHeatSurface, AttrETAH,
+}

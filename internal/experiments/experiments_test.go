@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sharedWorld caches one test-scale world across tests in this package.
+var sharedWorld *World
+
+func getWorld(t testing.TB) *World {
+	t.Helper()
+	if sharedWorld == nil {
+		w, err := NewWorld(TestScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedWorld = w
+	}
+	return sharedWorld
+}
+
+func TestNewWorldShape(t *testing.T) {
+	w := getWorld(t)
+	if w.Clean.NumRows() != TestScale().Certificates {
+		t.Fatalf("rows = %d", w.Clean.NumRows())
+	}
+	if w.Clean.NumCols() != 132 {
+		t.Fatalf("cols = %d", w.Clean.NumCols())
+	}
+	if len(w.Truth.TypoRows) == 0 {
+		t.Fatal("no corruption recorded")
+	}
+	if w.StreetMap.NumStreets() == 0 {
+		t.Fatal("empty street map")
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	r := &Runner{World: getWorld(t)}
+	if _, err := r.Run("E99"); err == nil {
+		t.Fatal("want error for unknown id")
+	}
+}
+
+func TestE1(t *testing.T) {
+	r := &Runner{World: getWorld(t)}
+	res, err := r.E1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"certificates:", "categorical: 89", "numeric:     43", "E.1.1"} {
+		if !strings.Contains(res.Report, want) {
+			t.Errorf("E1 report missing %q:\n%s", want, res.Report)
+		}
+	}
+	if !strings.Contains(res.Report, "schema validation issues: 0") {
+		t.Errorf("E1: clean dataset should validate:\n%s", res.Report)
+	}
+}
+
+func TestE2PhiSweepShape(t *testing.T) {
+	r := &Runner{World: getWorld(t)}
+	res, err := r.E2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(res.Report), "\n")
+	if len(lines) < 7 {
+		t.Fatalf("E2 report too short:\n%s", res.Report)
+	}
+	// Parse the geocoded column per phi; it must not decrease as phi
+	// rises (stricter threshold -> more fallback).
+	var geocoded []float64
+	var recovery []float64
+	for _, line := range lines[1:7] {
+		fields := strings.Fields(line)
+		if len(fields) < 7 {
+			t.Fatalf("bad row: %q", line)
+		}
+		var g float64
+		if _, err := parseFloat(fields[3], &g); err != nil {
+			t.Fatalf("parse %q: %v", fields[3], err)
+		}
+		geocoded = append(geocoded, g)
+		var rec float64
+		if _, err := parseFloat(strings.TrimSuffix(fields[6], "%"), &rec); err != nil {
+			t.Fatalf("parse %q: %v", fields[6], err)
+		}
+		recovery = append(recovery, rec)
+	}
+	for i := 1; i < len(geocoded); i++ {
+		if geocoded[i] < geocoded[i-1] {
+			t.Fatalf("geocoder use decreased with stricter phi: %v", geocoded)
+		}
+	}
+	for _, rec := range recovery {
+		if rec < 85 {
+			t.Fatalf("typo recovery %v%% too low:\n%s", rec, res.Report)
+		}
+	}
+}
+
+func TestE3RecallsPlantedOutliers(t *testing.T) {
+	r := &Runner{World: getWorld(t)}
+	res, err := r.E3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []string{"boxplot", "gesd", "mad", "dbscan(auto)"} {
+		if !strings.Contains(res.Report, method) {
+			t.Errorf("E3 missing method %q:\n%s", method, res.Report)
+		}
+	}
+	// MAD recall of gross outliers must be high. Low-side outliers on
+	// wide-spread attributes (a 2 m² heated surface against a lognormal
+	// with MAD ≈ 30) legitimately score under the 3.5 cutoff, so recall
+	// below 100% is expected.
+	for _, line := range strings.Split(res.Report, "\n") {
+		if strings.HasPrefix(line, "mad") {
+			fields := strings.Fields(line)
+			var rec float64
+			if _, err := parseFloat(strings.TrimSuffix(fields[len(fields)-1], "%"), &rec); err != nil {
+				t.Fatalf("parse recall: %v", err)
+			}
+			if rec < 75 {
+				t.Fatalf("MAD recall = %v%%:\n%s", rec, res.Report)
+			}
+		}
+	}
+}
+
+func TestE4WeakCorrelations(t *testing.T) {
+	r := &Runner{World: getWorld(t), OutDir: t.TempDir()}
+	res, err := r.E4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Report, "weakly correlated\" -> true") {
+		t.Fatalf("E4 shape violated:\n%s", res.Report)
+	}
+	if len(res.Figures) != 1 {
+		t.Fatalf("figures = %v", res.Figures)
+	}
+	data, err := os.ReadFile(res.Figures[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Fatal("figure is not SVG")
+	}
+}
+
+func TestE5ElbowAndSeparation(t *testing.T) {
+	r := &Runner{World: getWorld(t), OutDir: t.TempDir()}
+	res, err := r.E5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Report, "elbow-chosen K:") {
+		t.Fatalf("E5 report:\n%s", res.Report)
+	}
+	// Cluster separation on the response must be material (> 20 kWh/m2y).
+	for _, line := range strings.Split(res.Report, "\n") {
+		if strings.HasPrefix(line, "cluster separation") {
+			fields := strings.Fields(line)
+			var spread float64
+			raw := strings.TrimSuffix(fields[len(fields)-2], " ")
+			if _, err := parseFloat(raw, &spread); err != nil {
+				t.Fatalf("parse spread from %q: %v", line, err)
+			}
+			if spread < 20 {
+				t.Fatalf("cluster EPH separation = %v:\n%s", spread, res.Report)
+			}
+		}
+	}
+	if len(res.Figures) != 3 {
+		t.Fatalf("figures = %v", res.Figures)
+	}
+}
+
+func TestE6BinningsAndRules(t *testing.T) {
+	r := &Runner{World: getWorld(t)}
+	res, err := r.E6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"classes for u_windows", "classes for u_opaque", "classes for etah", "ANTECEDENT", "rules mined:"} {
+		if !strings.Contains(res.Report, want) {
+			t.Errorf("E6 missing %q:\n%s", want, res.Report)
+		}
+	}
+}
+
+func TestE7MapKinds(t *testing.T) {
+	dir := t.TempDir()
+	r := &Runner{World: getWorld(t), OutDir: dir}
+	res, err := r.E7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"unit            -> scatter",
+		"neighbourhood   -> choropleth",
+		"district        -> cluster-marker",
+		"city            -> cluster-marker",
+	} {
+		if !strings.Contains(res.Report, want) {
+			t.Errorf("E7 missing %q:\n%s", want, res.Report)
+		}
+	}
+	if len(res.Figures) != 4 {
+		t.Fatalf("figures = %v", res.Figures)
+	}
+	for _, f := range res.Figures {
+		if _, err := os.Stat(f); err != nil {
+			t.Errorf("figure %s: %v", f, err)
+		}
+	}
+}
+
+func TestE8Dashboards(t *testing.T) {
+	dir := t.TempDir()
+	r := &Runner{World: getWorld(t), OutDir: dir}
+	res, err := r.E8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Figures) != 3 {
+		t.Fatalf("figures = %v", res.Figures)
+	}
+	for _, f := range res.Figures {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "<!DOCTYPE html>") {
+			t.Errorf("%s is not an HTML document", filepath.Base(f))
+		}
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	r := &Runner{World: getWorld(t), OutDir: t.TempDir()}
+	results, err := r.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(IDs()) {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, res := range results {
+		if res.Report == "" {
+			t.Errorf("%s: empty report", res.ID)
+		}
+	}
+}
+
+// parseFloat is a tiny strconv wrapper usable in field loops.
+func parseFloat(s string, out *float64) (int, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	*out = v
+	return 1, nil
+}

@@ -1,0 +1,256 @@
+// Package geo provides the geospatial substrate for INDICE's energy maps:
+// geodesic distance, bounding boxes, point-in-polygon tests, a uniform
+// spatial grid index for neighbour queries, and the administrative
+// hierarchy (city → district → neighbourhood → building) that drives the
+// dashboard's drill-down zoom levels.
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMeters is the mean Earth radius used by Haversine.
+const EarthRadiusMeters = 6371008.8
+
+// Point is a WGS84 coordinate pair in degrees.
+type Point struct {
+	Lat float64
+	Lon float64
+}
+
+// Valid reports whether the point lies in the legal lat/lon ranges and is
+// finite.
+func (p Point) Valid() bool {
+	return !math.IsNaN(p.Lat) && !math.IsNaN(p.Lon) &&
+		p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.6f, %.6f)", p.Lat, p.Lon)
+}
+
+// Haversine returns the great-circle distance between a and b in meters.
+func Haversine(a, b Point) float64 {
+	lat1 := a.Lat * math.Pi / 180
+	lat2 := b.Lat * math.Pi / 180
+	dLat := (b.Lat - a.Lat) * math.Pi / 180
+	dLon := (b.Lon - a.Lon) * math.Pi / 180
+	s1 := math.Sin(dLat / 2)
+	s2 := math.Sin(dLon / 2)
+	h := s1*s1 + math.Cos(lat1)*math.Cos(lat2)*s2*s2
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusMeters * math.Asin(math.Sqrt(h))
+}
+
+// Bounds is an axis-aligned lat/lon bounding box.
+type Bounds struct {
+	MinLat, MinLon, MaxLat, MaxLon float64
+}
+
+// EmptyBounds returns an inverted box ready for Extend.
+func EmptyBounds() Bounds {
+	return Bounds{
+		MinLat: math.Inf(1), MinLon: math.Inf(1),
+		MaxLat: math.Inf(-1), MaxLon: math.Inf(-1),
+	}
+}
+
+// Extend grows b to include p and returns the result.
+func (b Bounds) Extend(p Point) Bounds {
+	if p.Lat < b.MinLat {
+		b.MinLat = p.Lat
+	}
+	if p.Lat > b.MaxLat {
+		b.MaxLat = p.Lat
+	}
+	if p.Lon < b.MinLon {
+		b.MinLon = p.Lon
+	}
+	if p.Lon > b.MaxLon {
+		b.MaxLon = p.Lon
+	}
+	return b
+}
+
+// Contains reports whether p lies within the box (inclusive).
+func (b Bounds) Contains(p Point) bool {
+	return p.Lat >= b.MinLat && p.Lat <= b.MaxLat &&
+		p.Lon >= b.MinLon && p.Lon <= b.MaxLon
+}
+
+// Center returns the box midpoint.
+func (b Bounds) Center() Point {
+	return Point{Lat: (b.MinLat + b.MaxLat) / 2, Lon: (b.MinLon + b.MaxLon) / 2}
+}
+
+// IsEmpty reports whether the box is inverted (holds no point).
+func (b Bounds) IsEmpty() bool {
+	return b.MinLat > b.MaxLat || b.MinLon > b.MaxLon
+}
+
+// BoundsOf returns the bounding box of the given points; empty input yields
+// an empty box.
+func BoundsOf(pts []Point) Bounds {
+	b := EmptyBounds()
+	for _, p := range pts {
+		b = b.Extend(p)
+	}
+	return b
+}
+
+// Polygon is a simple (non-self-intersecting) closed ring of vertices. The
+// ring is implicitly closed: the last vertex connects back to the first.
+type Polygon []Point
+
+// Contains reports whether p lies inside the polygon using the even-odd
+// ray-casting rule. Points exactly on an edge may land on either side;
+// administrative zones in INDICE are disjoint so this does not affect
+// aggregation totals.
+func (pg Polygon) Contains(p Point) bool {
+	n := len(pg)
+	if n < 3 {
+		return false
+	}
+	inside := false
+	j := n - 1
+	for i := 0; i < n; i++ {
+		vi, vj := pg[i], pg[j]
+		if (vi.Lat > p.Lat) != (vj.Lat > p.Lat) {
+			cross := (vj.Lon-vi.Lon)*(p.Lat-vi.Lat)/(vj.Lat-vi.Lat) + vi.Lon
+			if p.Lon < cross {
+				inside = !inside
+			}
+		}
+		j = i
+	}
+	return inside
+}
+
+// Bounds returns the polygon's bounding box.
+func (pg Polygon) Bounds() Bounds {
+	return BoundsOf(pg)
+}
+
+// RectPolygon builds the four-vertex polygon of a bounding box.
+func RectPolygon(b Bounds) Polygon {
+	return Polygon{
+		{Lat: b.MinLat, Lon: b.MinLon},
+		{Lat: b.MinLat, Lon: b.MaxLon},
+		{Lat: b.MaxLat, Lon: b.MaxLon},
+		{Lat: b.MaxLat, Lon: b.MinLon},
+	}
+}
+
+// Grid is a uniform spatial index over points, used by DBSCAN's
+// neighbourhood queries and by the map renderers' aggregation at coarse
+// zoom. Cells are square in degree space.
+type Grid struct {
+	cell   float64
+	points []Point
+	cells  map[[2]int][]int32
+}
+
+// NewGrid indexes the given points with the given cell size in degrees.
+func NewGrid(points []Point, cellDegrees float64) (*Grid, error) {
+	if cellDegrees <= 0 || math.IsNaN(cellDegrees) || math.IsInf(cellDegrees, 0) {
+		return nil, errors.New("geo: grid cell size must be positive and finite")
+	}
+	g := &Grid{
+		cell:   cellDegrees,
+		points: append([]Point(nil), points...),
+		cells:  make(map[[2]int][]int32),
+	}
+	for i, p := range g.points {
+		k := g.key(p)
+		g.cells[k] = append(g.cells[k], int32(i))
+	}
+	return g, nil
+}
+
+func (g *Grid) key(p Point) [2]int {
+	return [2]int{int(math.Floor(p.Lat / g.cell)), int(math.Floor(p.Lon / g.cell))}
+}
+
+// Len returns the number of indexed points.
+func (g *Grid) Len() int { return len(g.points) }
+
+// WithinRadius returns the indices of all points within radiusDegrees of
+// center measured with the Euclidean metric in degree space (the metric
+// DBSCAN uses over normalized attributes is handled separately; this index
+// is for geographic neighbourhoods).
+func (g *Grid) WithinRadius(center Point, radiusDegrees float64) []int {
+	if radiusDegrees < 0 {
+		return nil
+	}
+	span := int(math.Ceil(radiusDegrees/g.cell)) + 1
+	ck := g.key(center)
+	var out []int
+	r2 := radiusDegrees * radiusDegrees
+	for di := -span; di <= span; di++ {
+		for dj := -span; dj <= span; dj++ {
+			ids := g.cells[[2]int{ck[0] + di, ck[1] + dj}]
+			for _, id := range ids {
+				p := g.points[id]
+				dLat := p.Lat - center.Lat
+				dLon := p.Lon - center.Lon
+				if dLat*dLat+dLon*dLon <= r2 {
+					out = append(out, int(id))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CellCounts aggregates the indexed points per grid cell, returning cell
+// centers with their populations. The renderer uses this for marker
+// clustering at coarse zoom levels.
+type CellCount struct {
+	Center Point
+	Count  int
+	IDs    []int
+}
+
+// Aggregate returns the per-cell aggregation sorted deterministically by
+// cell key (row-major).
+func (g *Grid) Aggregate() []CellCount {
+	type kv struct {
+		k   [2]int
+		ids []int32
+	}
+	keys := make([]kv, 0, len(g.cells))
+	for k, ids := range g.cells {
+		keys = append(keys, kv{k, ids})
+	}
+	// Sort by (latCell, lonCell) for deterministic output.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0; j-- {
+			a, b := keys[j-1].k, keys[j].k
+			if a[0] < b[0] || (a[0] == b[0] && a[1] <= b[1]) {
+				break
+			}
+			keys[j-1], keys[j] = keys[j], keys[j-1]
+		}
+	}
+	out := make([]CellCount, 0, len(keys))
+	for _, e := range keys {
+		cc := CellCount{
+			Center: Point{
+				Lat: (float64(e.k[0]) + 0.5) * g.cell,
+				Lon: (float64(e.k[1]) + 0.5) * g.cell,
+			},
+			Count: len(e.ids),
+			IDs:   make([]int, len(e.ids)),
+		}
+		for i, id := range e.ids {
+			cc.IDs[i] = int(id)
+		}
+		out = append(out, cc)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package geocode
+
+import (
+	"sync"
+
+	"indice/internal/textmatch"
+)
+
+// CachedGeocoder wraps a Geocoder with a normalized-address memo so
+// repeated addresses (several certificates in one building, re-runs over
+// the same dump) consume the free-request quota only once. Failed lookups
+// are cached too — ErrNotFound is deterministic for a given address, and
+// retrying it would only burn quota — except quota errors, which must
+// surface again once the budget is refilled.
+type CachedGeocoder struct {
+	inner Geocoder
+
+	mu     sync.Mutex
+	hits   int
+	misses int
+	byAddr map[string]cachedResult
+}
+
+type cachedResult struct {
+	entry ReferenceEntry
+	err   error
+}
+
+// NewCachedGeocoder wraps inner.
+func NewCachedGeocoder(inner Geocoder) *CachedGeocoder {
+	return &CachedGeocoder{
+		inner:  inner,
+		byAddr: make(map[string]cachedResult),
+	}
+}
+
+// Geocode implements Geocoder with memoization.
+func (g *CachedGeocoder) Geocode(address string) (ReferenceEntry, error) {
+	key := textmatch.NormalizeAddress(address)
+	g.mu.Lock()
+	if res, ok := g.byAddr[key]; ok {
+		g.hits++
+		g.mu.Unlock()
+		return res.entry, res.err
+	}
+	g.mu.Unlock()
+
+	entry, err := g.inner.Geocode(address)
+	if err == ErrQuotaExceeded {
+		// Not cacheable: a future call may have budget again.
+		return ReferenceEntry{}, err
+	}
+
+	g.mu.Lock()
+	g.misses++
+	g.byAddr[key] = cachedResult{entry: entry, err: err}
+	g.mu.Unlock()
+	return entry, err
+}
+
+// RequestsUsed implements Geocoder: the remote requests actually consumed.
+func (g *CachedGeocoder) RequestsUsed() int {
+	return g.inner.RequestsUsed()
+}
+
+// Stats reports cache hits and misses.
+func (g *CachedGeocoder) Stats() (hits, misses int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.hits, g.misses
+}

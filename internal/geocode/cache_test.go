@@ -1,0 +1,126 @@
+package geocode
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestCachedGeocoderMemoizes(t *testing.T) {
+	m, _ := NewStreetMap(refEntries())
+	inner := NewMockGeocoder(m, 10)
+	g := NewCachedGeocoder(inner)
+
+	e1, err := g.Geocode("Via Roma 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeats, including differently-cased variants that normalize the
+	// same, must not consume quota.
+	for i := 0; i < 5; i++ {
+		e2, err := g.Geocode("VIA ROMA 2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e2 != e1 {
+			t.Fatalf("cached result differs: %+v vs %+v", e2, e1)
+		}
+	}
+	if g.RequestsUsed() != 1 {
+		t.Fatalf("requests = %d, want 1", g.RequestsUsed())
+	}
+	hits, misses := g.Stats()
+	if hits != 5 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d", hits, misses)
+	}
+}
+
+func TestCachedGeocoderCachesNotFound(t *testing.T) {
+	m, _ := NewStreetMap(refEntries())
+	inner := NewMockGeocoder(m, 10)
+	g := NewCachedGeocoder(inner)
+	if _, err := g.Geocode("qqqq wwww zzzz"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := g.Geocode("qqqq wwww zzzz"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cached err = %v", err)
+	}
+	if g.RequestsUsed() != 1 {
+		t.Fatalf("requests = %d, want 1 (not-found cached)", g.RequestsUsed())
+	}
+}
+
+func TestCachedGeocoderQuotaNotCached(t *testing.T) {
+	m, _ := NewStreetMap(refEntries())
+	inner := NewMockGeocoder(m, 0) // immediately out of quota
+	g := NewCachedGeocoder(inner)
+	if _, err := g.Geocode("Via Roma 1"); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	// Quota errors must not poison the cache: with a fresh inner budget
+	// the same address resolves.
+	g2 := NewCachedGeocoder(NewMockGeocoder(m, 5))
+	if _, err := g2.Geocode("Via Roma 1"); err != nil {
+		t.Fatalf("fresh budget: %v", err)
+	}
+	_, misses := g.Stats()
+	if misses != 0 {
+		t.Fatalf("quota failure recorded as miss: %d", misses)
+	}
+}
+
+func TestCachedGeocoderConcurrent(t *testing.T) {
+	m, _ := NewStreetMap(refEntries())
+	g := NewCachedGeocoder(NewMockGeocoder(m, 1000))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := g.Geocode("Piazza Castello 1"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// At most a handful of remote requests despite 400 calls (a few may
+	// race past the memo on the first fill).
+	if g.RequestsUsed() > 8 {
+		t.Fatalf("requests = %d", g.RequestsUsed())
+	}
+}
+
+func TestCleanerWithCachedGeocoder(t *testing.T) {
+	// The cleaner composes transparently with the cache: multiple
+	// certificates on the same unresolvable-by-map street consume one
+	// remote request.
+	m, _ := NewStreetMap(refEntries())
+	inner := NewMockGeocoder(m, 10)
+	g := NewCachedGeocoder(inner)
+	cfg := DefaultCleanConfig()
+	cfg.Phi = 0.99 // force the fallback for typos
+	cl, err := NewCleaner(m, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := locTable(t,
+		[]string{"via rona", "via rona", "via rona"},
+		[]string{"2", "2", "2"},
+		[]string{"", "", ""},
+		[]float64{0, 0, 0},
+		[]float64{0, 0, 0},
+	)
+	rep, err := cl.Clean(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Geocoded != 3 {
+		t.Fatalf("geocoded = %d", rep.Geocoded)
+	}
+	if inner.RequestsUsed() != 1 {
+		t.Fatalf("remote requests = %d, want 1 via cache", inner.RequestsUsed())
+	}
+}

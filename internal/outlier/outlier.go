@@ -1,0 +1,313 @@
+// Package outlier implements the INDICE outlier detection and removal
+// stage (§2.1.2): the three univariate methods (graphic boxplot,
+// generalized ESD, non-parametric MAD), the expert-driven configuration
+// store that suggests a default method to non-expert users, and the
+// multivariate DBSCAN detector with automatic parameter estimation from
+// k-distance plots.
+package outlier
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"indice/internal/cluster"
+	"indice/internal/stats"
+	"indice/internal/table"
+)
+
+// Method identifies a univariate detection technique.
+type Method string
+
+const (
+	// MethodBoxplot flags values outside the Tukey whiskers.
+	MethodBoxplot Method = "boxplot"
+	// MethodGESD runs the generalized extreme Studentized deviate test.
+	MethodGESD Method = "gesd"
+	// MethodMAD flags modified z-scores above the Iglewicz-Hoaglin cutoff.
+	MethodMAD Method = "mad"
+)
+
+// Config parameterizes a univariate detection run.
+type Config struct {
+	Method Method
+	// BoxplotK is the whisker factor (default 1.5).
+	BoxplotK float64
+	// GESDMaxOutliers is the upper bound k on the number of outliers the
+	// gESD test considers (default max(1, n/50)).
+	GESDMaxOutliers int
+	// GESDAlpha is the significance level (default 0.05).
+	GESDAlpha float64
+	// MADCutoff is the modified z-score threshold (default 3.5, the value
+	// the paper adopts from Iglewicz & Hoaglin).
+	MADCutoff float64
+}
+
+// DefaultConfig returns the defaults for the given method.
+func DefaultConfig(m Method) Config {
+	return Config{
+		Method:          m,
+		BoxplotK:        1.5,
+		GESDAlpha:       0.05,
+		MADCutoff:       3.5,
+		GESDMaxOutliers: 0, // derived from n at run time
+	}
+}
+
+// Result reports a detection run on one attribute.
+type Result struct {
+	Attr    string
+	Method  Method
+	Rows    []int // flagged row indices, ascending
+	Checked int   // number of valid cells examined
+}
+
+// DetectColumn runs the configured univariate method on the named numeric
+// column of t and returns the flagged rows.
+func DetectColumn(t *table.Table, attr string, cfg Config) (*Result, error) {
+	vals, err := t.Floats(attr)
+	if err != nil {
+		return nil, fmt.Errorf("outlier: %w", err)
+	}
+	mask, _ := t.ValidMask(attr)
+	// Collect valid values with their row indices.
+	rows := make([]int, 0, len(vals))
+	xs := make([]float64, 0, len(vals))
+	for i, v := range vals {
+		if mask[i] {
+			rows = append(rows, i)
+			xs = append(xs, v)
+		}
+	}
+	res := &Result{Attr: attr, Method: cfg.Method, Checked: len(xs)}
+	if len(xs) == 0 {
+		return res, nil
+	}
+	switch cfg.Method {
+	case MethodBoxplot:
+		k := cfg.BoxplotK
+		if k <= 0 {
+			k = 1.5
+		}
+		f, err := stats.Fences(xs, k)
+		if err != nil {
+			return nil, fmt.Errorf("outlier: boxplot on %q: %w", attr, err)
+		}
+		for i, v := range xs {
+			if v < f.Lower || v > f.Upper {
+				res.Rows = append(res.Rows, rows[i])
+			}
+		}
+	case MethodGESD:
+		if len(xs) < 3 {
+			return res, nil
+		}
+		max := cfg.GESDMaxOutliers
+		if max <= 0 {
+			max = len(xs) / 50
+			if max < 1 {
+				max = 1
+			}
+		}
+		alpha := cfg.GESDAlpha
+		if alpha <= 0 || alpha >= 1 {
+			alpha = 0.05
+		}
+		_, idx, err := stats.GESD(xs, max, alpha)
+		if err != nil {
+			return nil, fmt.Errorf("outlier: gESD on %q: %w", attr, err)
+		}
+		for _, i := range idx {
+			res.Rows = append(res.Rows, rows[i])
+		}
+		sortInts(res.Rows)
+	case MethodMAD:
+		cut := cfg.MADCutoff
+		if cut <= 0 {
+			cut = 3.5
+		}
+		zs, err := stats.ModifiedZScores(xs)
+		if err != nil {
+			return nil, fmt.Errorf("outlier: MAD on %q: %w", attr, err)
+		}
+		for i, z := range zs {
+			if !math.IsNaN(z) && math.Abs(z) > cut {
+				res.Rows = append(res.Rows, rows[i])
+			}
+		}
+	default:
+		return nil, fmt.Errorf("outlier: unknown method %q", cfg.Method)
+	}
+	return res, nil
+}
+
+// DetectColumns runs the same configuration over several attributes and
+// returns the union of flagged rows together with the per-attribute
+// results. Values labelled as outliers on any attribute are excluded from
+// subsequent analysis steps, as the paper specifies.
+func DetectColumns(t *table.Table, attrs []string, cfg Config) ([]*Result, []int, error) {
+	if len(attrs) == 0 {
+		return nil, nil, errors.New("outlier: no attributes given")
+	}
+	var all []*Result
+	union := make(map[int]struct{})
+	for _, a := range attrs {
+		r, err := DetectColumn(t, a, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, r)
+		for _, row := range r.Rows {
+			union[row] = struct{}{}
+		}
+	}
+	flat := make([]int, 0, len(union))
+	for r := range union {
+		flat = append(flat, r)
+	}
+	sortInts(flat)
+	return all, flat, nil
+}
+
+// RemoveRows returns a copy of t without the given rows — the "values
+// labelled as outliers are not considered in the subsequent steps"
+// behaviour.
+func RemoveRows(t *table.Table, rows []int) (*table.Table, error) {
+	return t.DropRows(rows)
+}
+
+func sortInts(xs []int) {
+	// Insertion sort: flagged sets are tiny relative to the table.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// MultivariateConfig parameterizes the DBSCAN-based detector.
+type MultivariateConfig struct {
+	// Eps and MinPts, when positive, are used directly. When zero they
+	// are estimated from k-distance plots on a sample, as the paper
+	// prescribes.
+	Eps    float64
+	MinPts int
+	// SampleSize bounds the quadratic parameter-estimation pass
+	// (default 500).
+	SampleSize int
+	// MinPtsCandidates are the candidate minPts values for the
+	// stabilisation search (default 3,4,5,8,10).
+	MinPtsCandidates []int
+}
+
+// MultivariateResult reports a DBSCAN detection run.
+type MultivariateResult struct {
+	Attrs    []string
+	Eps      float64
+	MinPts   int
+	Clusters int
+	// Rows are the table rows labelled as noise (= multivariate outliers).
+	Rows []int
+	// Checked is the number of complete rows examined.
+	Checked int
+}
+
+// DetectMultivariate runs DBSCAN over the min-max normalized attribute
+// matrix and flags noise points as outliers. Rows with a missing value in
+// any of the attributes are skipped (the univariate stage deals with
+// those).
+func DetectMultivariate(t *table.Table, attrs []string, cfg MultivariateConfig) (*MultivariateResult, error) {
+	if len(attrs) == 0 {
+		return nil, errors.New("outlier: no attributes given")
+	}
+	mat, rowIdx, err := t.Matrix(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("outlier: multivariate: %w", err)
+	}
+	if len(mat) == 0 {
+		return &MultivariateResult{Attrs: attrs}, nil
+	}
+	// Min-max normalize each attribute so eps is comparable across
+	// heterogeneous units.
+	norm := normalizeMatrix(mat)
+
+	eps, minPts := cfg.Eps, cfg.MinPts
+	if eps <= 0 || minPts <= 0 {
+		sample := norm
+		limit := cfg.SampleSize
+		if limit <= 0 {
+			limit = 500
+		}
+		if len(sample) > limit {
+			// Deterministic stride sample.
+			stride := len(sample) / limit
+			s := make([][]float64, 0, limit)
+			for i := 0; i < len(sample) && len(s) < limit; i += stride {
+				s = append(s, sample[i])
+			}
+			sample = s
+		}
+		e, m, err := cluster.EstimateDBSCANParams(sample, cfg.MinPtsCandidates)
+		if err != nil {
+			return nil, fmt.Errorf("outlier: parameter estimation: %w", err)
+		}
+		if eps <= 0 {
+			eps = e
+		}
+		if minPts <= 0 {
+			minPts = m
+		}
+	}
+
+	res, err := cluster.DBSCAN(norm, eps, minPts)
+	if err != nil {
+		return nil, fmt.Errorf("outlier: dbscan: %w", err)
+	}
+	out := &MultivariateResult{
+		Attrs:    attrs,
+		Eps:      eps,
+		MinPts:   minPts,
+		Clusters: res.Clusters,
+		Checked:  len(mat),
+	}
+	for i, l := range res.Labels {
+		if l == cluster.Noise {
+			out.Rows = append(out.Rows, rowIdx[i])
+		}
+	}
+	return out, nil
+}
+
+func normalizeMatrix(mat [][]float64) [][]float64 {
+	if len(mat) == 0 {
+		return nil
+	}
+	dim := len(mat[0])
+	mins := make([]float64, dim)
+	maxs := make([]float64, dim)
+	for d := 0; d < dim; d++ {
+		mins[d], maxs[d] = math.Inf(1), math.Inf(-1)
+	}
+	for _, row := range mat {
+		for d, v := range row {
+			if v < mins[d] {
+				mins[d] = v
+			}
+			if v > maxs[d] {
+				maxs[d] = v
+			}
+		}
+	}
+	out := make([][]float64, len(mat))
+	for i, row := range mat {
+		nr := make([]float64, dim)
+		for d, v := range row {
+			span := maxs[d] - mins[d]
+			if span > 0 {
+				nr[d] = (v - mins[d]) / span
+			}
+		}
+		out[i] = nr
+	}
+	return out
+}

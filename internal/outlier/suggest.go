@@ -1,0 +1,137 @@
+package outlier
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// The expert-driven univariate analysis of §2.1.2: INDICE records which
+// detection configuration expert users (energy scientists) applied to each
+// attribute, and suggests the most frequent past choice to non-expert
+// users as the default.
+
+// UsageRecord is one stored expert interaction.
+type UsageRecord struct {
+	Attr   string `json:"attr"`
+	Config Config `json:"config"`
+	// Expert marks interactions from expert users; only these drive
+	// suggestions.
+	Expert bool `json:"expert"`
+}
+
+// SuggestionStore accumulates expert configurations and answers
+// suggestion queries. It is safe for concurrent use.
+type SuggestionStore struct {
+	mu      sync.RWMutex
+	records []UsageRecord
+}
+
+// NewSuggestionStore returns an empty store.
+func NewSuggestionStore() *SuggestionStore {
+	return &SuggestionStore{}
+}
+
+// Record stores one interaction.
+func (s *SuggestionStore) Record(r UsageRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records = append(s.records, r)
+}
+
+// Len returns the number of stored records.
+func (s *SuggestionStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// Suggest returns the configuration expert users applied most often to the
+// given attribute. Ties break toward the most recent record. When no
+// expert ever touched the attribute, the most popular expert method across
+// all attributes is suggested; with no expert records at all, the MAD
+// defaults are returned (the most robust non-parametric choice) with
+// ok=false.
+func (s *SuggestionStore) Suggest(attr string) (Config, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if cfg, ok := s.mostFrequent(func(r UsageRecord) bool {
+		return r.Expert && r.Attr == attr
+	}); ok {
+		return cfg, true
+	}
+	if cfg, ok := s.mostFrequent(func(r UsageRecord) bool {
+		return r.Expert
+	}); ok {
+		return cfg, true
+	}
+	return DefaultConfig(MethodMAD), false
+}
+
+// mostFrequent returns the most frequent configuration among the records
+// accepted by keep.
+func (s *SuggestionStore) mostFrequent(keep func(UsageRecord) bool) (Config, bool) {
+	type slot struct {
+		cfg    Config
+		count  int
+		latest int
+	}
+	counts := make(map[string]*slot)
+	for i, r := range s.records {
+		if !keep(r) {
+			continue
+		}
+		key := configKey(r.Config)
+		sl, ok := counts[key]
+		if !ok {
+			sl = &slot{cfg: r.Config}
+			counts[key] = sl
+		}
+		sl.count++
+		sl.latest = i
+	}
+	if len(counts) == 0 {
+		return Config{}, false
+	}
+	slots := make([]*slot, 0, len(counts))
+	for _, sl := range counts {
+		slots = append(slots, sl)
+	}
+	sort.Slice(slots, func(i, j int) bool {
+		if slots[i].count != slots[j].count {
+			return slots[i].count > slots[j].count
+		}
+		return slots[i].latest > slots[j].latest
+	})
+	return slots[0].cfg, true
+}
+
+func configKey(c Config) string {
+	return fmt.Sprintf("%s|%g|%d|%g|%g", c.Method, c.BoxplotK, c.GESDMaxOutliers, c.GESDAlpha, c.MADCutoff)
+}
+
+// Save serializes the store as JSON.
+func (s *SuggestionStore) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.records)
+}
+
+// LoadSuggestionStore reads a store saved by Save.
+func LoadSuggestionStore(r io.Reader) (*SuggestionStore, error) {
+	var records []UsageRecord
+	if err := json.NewDecoder(r).Decode(&records); err != nil {
+		return nil, fmt.Errorf("outlier: loading suggestion store: %w", err)
+	}
+	for _, rec := range records {
+		if rec.Attr == "" {
+			return nil, errors.New("outlier: record with empty attribute")
+		}
+	}
+	return &SuggestionStore{records: records}, nil
+}

@@ -1,0 +1,153 @@
+// Package query implements the INDICE querying engine (§2.2.1): a
+// predicate DSL for selecting EPC subsets attribute-by-attribute, and the
+// stakeholder profiles (citizen, public administration, energy scientist)
+// that drive which attributes, granularity and report types the system
+// proposes to each end-user.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"indice/internal/epc"
+	"indice/internal/table"
+)
+
+// Predicate selects rows of a table. Implementations must be pure.
+type Predicate interface {
+	// Mask returns a keep-mask over the table's rows.
+	Mask(t *table.Table) ([]bool, error)
+	// String renders the predicate for report headers.
+	String() string
+}
+
+// NumRange keeps rows whose numeric attribute lies in [Min, Max]
+// (inclusive). Invalid cells never match.
+type NumRange struct {
+	Attr     string
+	Min, Max float64
+}
+
+// Mask implements Predicate.
+func (p NumRange) Mask(t *table.Table) ([]bool, error) {
+	vals, err := t.Floats(p.Attr)
+	if err != nil {
+		return nil, err
+	}
+	valid, _ := t.ValidMask(p.Attr)
+	out := make([]bool, len(vals))
+	for i, v := range vals {
+		out[i] = valid[i] && v >= p.Min && v <= p.Max
+	}
+	return out, nil
+}
+
+// String implements Predicate.
+func (p NumRange) String() string {
+	return fmt.Sprintf("%s in [%g, %g]", p.Attr, p.Min, p.Max)
+}
+
+// In keeps rows whose categorical attribute equals one of the values.
+type In struct {
+	Attr   string
+	Values []string
+}
+
+// Mask implements Predicate.
+func (p In) Mask(t *table.Table) ([]bool, error) {
+	vals, err := t.Strings(p.Attr)
+	if err != nil {
+		return nil, err
+	}
+	valid, _ := t.ValidMask(p.Attr)
+	set := make(map[string]bool, len(p.Values))
+	for _, v := range p.Values {
+		set[v] = true
+	}
+	out := make([]bool, len(vals))
+	for i, v := range vals {
+		out[i] = valid[i] && set[v]
+	}
+	return out, nil
+}
+
+// String implements Predicate.
+func (p In) String() string {
+	return fmt.Sprintf("%s in {%s}", p.Attr, strings.Join(p.Values, ", "))
+}
+
+// And keeps rows matching every sub-predicate.
+type And []Predicate
+
+// Mask implements Predicate.
+func (p And) Mask(t *table.Table) ([]bool, error) {
+	if len(p) == 0 {
+		return nil, errors.New("query: empty conjunction")
+	}
+	acc, err := p[0].Mask(t)
+	if err != nil {
+		return nil, err
+	}
+	for _, sub := range p[1:] {
+		m, err := sub.Mask(t)
+		if err != nil {
+			return nil, err
+		}
+		for i := range acc {
+			acc[i] = acc[i] && m[i]
+		}
+	}
+	return acc, nil
+}
+
+// String implements Predicate.
+func (p And) String() string {
+	parts := make([]string, len(p))
+	for i, sub := range p {
+		parts[i] = sub.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// Not inverts a predicate.
+type Not struct{ P Predicate }
+
+// Mask implements Predicate.
+func (p Not) Mask(t *table.Table) ([]bool, error) {
+	m, err := p.P.Mask(t)
+	if err != nil {
+		return nil, err
+	}
+	for i := range m {
+		m[i] = !m[i]
+	}
+	return m, nil
+}
+
+// String implements Predicate.
+func (p Not) String() string { return "NOT (" + p.P.String() + ")" }
+
+// Select runs a predicate and materializes the matching subset.
+func Select(t *table.Table, p Predicate) (*table.Table, error) {
+	mask, err := p.Mask(t)
+	if err != nil {
+		return nil, fmt.Errorf("query: %w", err)
+	}
+	return t.FilterMask(mask)
+}
+
+// Residential is the paper's case-study selection: intended use E.1.1.
+func Residential() Predicate {
+	return In{Attr: epc.AttrIntendedUse, Values: []string{epc.UseResidential}}
+}
+
+// InCity selects certificates of one municipality.
+func InCity(city string) Predicate {
+	return In{Attr: epc.AttrCity, Values: []string{city}}
+}
+
+// InDistrict selects certificates of one district.
+func InDistrict(id string) Predicate {
+	return In{Attr: epc.AttrDistrict, Values: []string{id}}
+}

@@ -1,0 +1,189 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"indice/internal/epc"
+	"indice/internal/geo"
+	"indice/internal/table"
+)
+
+func sample(t *testing.T) *table.Table {
+	t.Helper()
+	tab := table.New()
+	steps := []error{
+		tab.AddFloats("eph", []float64{50, 150, 90, math.NaN(), 300}),
+		tab.AddStrings(epc.AttrIntendedUse, []string{"E.1.1", "E.1.1", "E.2", "E.1.1", "E.8"}),
+		tab.AddStrings(epc.AttrCity, []string{"Torino", "Torino", "Milano", "Torino", "Torino"}),
+		tab.AddStrings(epc.AttrDistrict, []string{"D1", "D2", "D1", "D1", "D2"}),
+	}
+	for _, err := range steps {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func TestNumRange(t *testing.T) {
+	tab := sample(t)
+	got, err := Select(tab, NumRange{Attr: "eph", Min: 60, Max: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 2 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	vals, _ := got.Floats("eph")
+	if vals[0] != 150 || vals[1] != 90 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestNumRangeExcludesInvalid(t *testing.T) {
+	tab := sample(t)
+	got, err := Select(tab, NumRange{Attr: "eph", Min: -1e9, Max: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 4 { // NaN row excluded
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+}
+
+func TestIn(t *testing.T) {
+	tab := sample(t)
+	got, err := Select(tab, In{Attr: epc.AttrIntendedUse, Values: []string{"E.1.1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 3 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+}
+
+func TestAndNot(t *testing.T) {
+	tab := sample(t)
+	p := And{
+		Residential(),
+		InCity("Torino"),
+		Not{NumRange{Attr: "eph", Min: 100, Max: 1e9}},
+	}
+	got, err := Select(tab, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Residential Torino rows: 0, 1, 3; NOT eph>=100 removes row 1;
+	// row 3 has NaN eph so NOT(match)=true keeps it.
+	if got.NumRows() != 2 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	if s := p.String(); !strings.Contains(s, "AND") || !strings.Contains(s, "NOT") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestAndEmpty(t *testing.T) {
+	tab := sample(t)
+	if _, err := Select(tab, And{}); err == nil {
+		t.Fatal("want error for empty conjunction")
+	}
+}
+
+func TestPredicateErrors(t *testing.T) {
+	tab := sample(t)
+	if _, err := Select(tab, NumRange{Attr: "ghost"}); err == nil {
+		t.Fatal("want error for missing column")
+	}
+	if _, err := Select(tab, In{Attr: "eph", Values: []string{"x"}}); err == nil {
+		t.Fatal("want error for type mismatch")
+	}
+}
+
+func TestPredicateStrings(t *testing.T) {
+	if s := (NumRange{Attr: "eph", Min: 1, Max: 2}).String(); s != "eph in [1, 2]" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := (In{Attr: "a", Values: []string{"x", "y"}}).String(); s != "a in {x, y}" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	tab := sample(t)
+	got, err := Select(tab, InDistrict("D2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 2 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+}
+
+func TestParseStakeholder(t *testing.T) {
+	for _, s := range []string{"citizen", "public-administration", "energy-scientist", "pa"} {
+		if _, err := ParseStakeholder(s); err != nil {
+			t.Errorf("ParseStakeholder(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseStakeholder("alien"); err == nil {
+		t.Fatal("want error for unknown stakeholder")
+	}
+}
+
+func TestProposals(t *testing.T) {
+	for _, s := range []Stakeholder{Citizen, PublicAdministration, EnergyScientist} {
+		p, err := ProposalFor(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if p.Stakeholder != s {
+			t.Fatalf("stakeholder = %s", p.Stakeholder)
+		}
+		if len(p.Attributes) == 0 || len(p.Reports) == 0 {
+			t.Fatalf("%s proposal incomplete: %+v", s, p)
+		}
+		if p.Response == "" {
+			t.Fatalf("%s has no response variable", s)
+		}
+		// Proposed attributes must exist in the EPC schema.
+		for _, a := range p.Attributes {
+			if _, ok := epc.Spec(a); !ok {
+				t.Fatalf("%s proposes unknown attribute %q", s, a)
+			}
+		}
+	}
+	if _, err := ProposalFor(Stakeholder("alien")); err == nil {
+		t.Fatal("want error for unknown stakeholder")
+	}
+}
+
+func TestProposalPAMatchesPaper(t *testing.T) {
+	p, err := ProposalFor(PublicAdministration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's case study: the five thermo-physical attributes at
+	// district level with cluster analysis proposed.
+	if len(p.Attributes) != 5 {
+		t.Fatalf("PA attributes = %v", p.Attributes)
+	}
+	if p.Level != geo.LevelDistrict {
+		t.Fatalf("PA level = %v", p.Level)
+	}
+	hasCluster := false
+	for _, r := range p.Reports {
+		if r == ReportClusterering {
+			hasCluster = true
+		}
+	}
+	if !hasCluster {
+		t.Fatal("PA proposal lacks cluster analysis")
+	}
+	// Default selection is the residential filter.
+	if p.Selection == nil || !strings.Contains(p.Selection.String(), "E.1.1") {
+		t.Fatalf("PA selection = %v", p.Selection)
+	}
+}

@@ -1,0 +1,117 @@
+package query
+
+import (
+	"fmt"
+
+	"indice/internal/epc"
+	"indice/internal/geo"
+)
+
+// Stakeholder identifies an INDICE end-user category (§2.2.1).
+type Stakeholder string
+
+// The three stakeholder categories of the paper.
+const (
+	// Citizen explores buildings in areas of interest, e.g. to buy an
+	// energy-efficient flat.
+	Citizen Stakeholder = "citizen"
+	// PublicAdministration identifies areas to promote and fund energy
+	// renovations.
+	PublicAdministration Stakeholder = "public-administration"
+	// EnergyScientist benchmarks homogeneous building groups with
+	// supervised and unsupervised techniques.
+	EnergyScientist Stakeholder = "energy-scientist"
+)
+
+// ParseStakeholder converts a name to a Stakeholder.
+func ParseStakeholder(s string) (Stakeholder, error) {
+	switch Stakeholder(s) {
+	case Citizen, PublicAdministration, EnergyScientist:
+		return Stakeholder(s), nil
+	case "pa":
+		return PublicAdministration, nil
+	}
+	return "", fmt.Errorf("query: unknown stakeholder %q", s)
+}
+
+// ReportKind enumerates the report/visualization types INDICE proposes.
+type ReportKind string
+
+// The report kinds the dashboards assemble.
+const (
+	ReportChoropleth    ReportKind = "choropleth-map"
+	ReportScatterMap    ReportKind = "scatter-map"
+	ReportClusterMarker ReportKind = "cluster-marker-map"
+	ReportDistribution  ReportKind = "frequency-distribution"
+	ReportRules         ReportKind = "association-rules"
+	ReportCorrelation   ReportKind = "correlation-matrix"
+	ReportClusterering  ReportKind = "cluster-analysis"
+)
+
+// Proposal is the automatic per-stakeholder analysis proposal: "based on
+// the target of each stakeholder, the system is able to automatically
+// propose to the specific end-user an optimal set of interesting reports
+// and graphical representations".
+type Proposal struct {
+	Stakeholder Stakeholder
+	// Attributes is the default attribute subset shown.
+	Attributes []string
+	// Response is the default response variable for coloring.
+	Response string
+	// Level is the default spatial granularity.
+	Level geo.Level
+	// Reports is the ordered set of proposed report kinds.
+	Reports []ReportKind
+	// Selection is the default data selection.
+	Selection Predicate
+}
+
+// ProposalFor returns the default proposal of a stakeholder. Users can
+// still override every field manually, as the paper specifies.
+func ProposalFor(s Stakeholder) (Proposal, error) {
+	switch s {
+	case Citizen:
+		// Citizens care about where efficient buildings are: energy class
+		// and heating demand at fine granularity.
+		return Proposal{
+			Stakeholder: s,
+			Attributes:  []string{epc.AttrEPH, epc.AttrUWindows, epc.AttrHeatSurface},
+			Response:    epc.AttrEPH,
+			Level:       geo.LevelNeighbourhood,
+			Reports: []ReportKind{
+				ReportChoropleth, ReportScatterMap, ReportDistribution,
+			},
+			Selection: Residential(),
+		}, nil
+	case PublicAdministration:
+		// The paper's case study: thermo-physical subset, cluster
+		// analysis, district-level energy maps.
+		return Proposal{
+			Stakeholder: s,
+			Attributes:  append([]string(nil), epc.CaseStudyAttributes...),
+			Response:    epc.AttrEPH,
+			Level:       geo.LevelDistrict,
+			Reports: []ReportKind{
+				ReportCorrelation, ReportClusterering, ReportClusterMarker,
+				ReportDistribution, ReportRules,
+			},
+			Selection: Residential(),
+		}, nil
+	case EnergyScientist:
+		// Scientists get the full analytic stack at every granularity.
+		return Proposal{
+			Stakeholder: s,
+			Attributes: append(append([]string(nil), epc.CaseStudyAttributes...),
+				epc.AttrEPH, "generation_efficiency", "distribution_efficiency"),
+			Response: epc.AttrEPH,
+			Level:    geo.LevelUnit,
+			Reports: []ReportKind{
+				ReportCorrelation, ReportClusterering, ReportRules,
+				ReportDistribution, ReportScatterMap, ReportChoropleth,
+				ReportClusterMarker,
+			},
+			Selection: nil, // scientists start from the full collection
+		}, nil
+	}
+	return Proposal{}, fmt.Errorf("query: unknown stakeholder %q", s)
+}

@@ -1,0 +1,103 @@
+package render
+
+import (
+	"errors"
+	"fmt"
+	"html"
+	"strings"
+)
+
+// Page assembles SVG panels, tables and prose into a single standalone
+// HTML dashboard document — the offline counterpart of the paper's folium
+// page.
+type Page struct {
+	title    string
+	sections []string
+}
+
+// NewPage starts an empty dashboard page.
+func NewPage(title string) *Page {
+	return &Page{title: title}
+}
+
+// AddHeading appends a section heading.
+func (p *Page) AddHeading(text string) {
+	p.sections = append(p.sections, "<h2>"+html.EscapeString(text)+"</h2>")
+}
+
+// AddParagraph appends explanatory prose.
+func (p *Page) AddParagraph(text string) {
+	p.sections = append(p.sections, "<p>"+html.EscapeString(text)+"</p>")
+}
+
+// AddSVG embeds a rendered SVG panel.
+func (p *Page) AddSVG(svg string) {
+	p.sections = append(p.sections, `<div class="panel">`+svg+`</div>`)
+}
+
+// AddSVGRow embeds several SVG panels side by side.
+func (p *Page) AddSVGRow(svgs ...string) {
+	var b strings.Builder
+	b.WriteString(`<div class="row">`)
+	for _, s := range svgs {
+		b.WriteString(`<div class="panel">` + s + `</div>`)
+	}
+	b.WriteString(`</div>`)
+	p.sections = append(p.sections, b.String())
+}
+
+// AddTable appends an HTML table with a header row.
+func (p *Page) AddTable(headers []string, rows [][]string) error {
+	if len(headers) == 0 {
+		return errors.New("render: table needs headers")
+	}
+	var b strings.Builder
+	b.WriteString("<table><thead><tr>")
+	for _, h := range headers {
+		b.WriteString("<th>" + html.EscapeString(h) + "</th>")
+	}
+	b.WriteString("</tr></thead><tbody>")
+	for _, row := range rows {
+		if len(row) != len(headers) {
+			return fmt.Errorf("render: table row has %d cells, want %d", len(row), len(headers))
+		}
+		b.WriteString("<tr>")
+		for _, cell := range row {
+			b.WriteString("<td>" + html.EscapeString(cell) + "</td>")
+		}
+		b.WriteString("</tr>")
+	}
+	b.WriteString("</tbody></table>")
+	p.sections = append(p.sections, b.String())
+	return nil
+}
+
+// AddPre appends preformatted text (e.g. the rule table).
+func (p *Page) AddPre(text string) {
+	p.sections = append(p.sections, "<pre>"+html.EscapeString(text)+"</pre>")
+}
+
+// String serializes the complete HTML document.
+func (p *Page) String() string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	b.WriteString("<title>" + html.EscapeString(p.title) + "</title>\n<style>\n")
+	b.WriteString(`body { font-family: sans-serif; margin: 24px; background: #fafafa; color: #222; }
+h1 { border-bottom: 2px solid #4878a8; padding-bottom: 6px; }
+h2 { margin-top: 28px; color: #2b4a6b; }
+.panel { display: inline-block; background: #fff; border: 1px solid #ddd; margin: 6px; padding: 4px; }
+.row { display: flex; flex-wrap: wrap; }
+table { border-collapse: collapse; background: #fff; margin: 8px 0; }
+th, td { border: 1px solid #ccc; padding: 4px 10px; font-size: 13px; }
+th { background: #e8eef5; }
+pre { background: #fff; border: 1px solid #ddd; padding: 8px; overflow-x: auto; font-size: 12px; }
+`)
+	b.WriteString("</style></head><body>\n")
+	b.WriteString("<h1>" + html.EscapeString(p.title) + "</h1>\n")
+	for _, s := range p.sections {
+		b.WriteString(s)
+		b.WriteString("\n")
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}

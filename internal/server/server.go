@@ -1,0 +1,311 @@
+// Package server exposes the INDICE dashboards over HTTP, restoring the
+// "dynamic and navigable" interaction of the paper's folium front end:
+// the browser drills through zoom levels and attributes by navigating
+// links, and every map/panel is regenerated server-side from the current
+// engine state. JSON endpoints expose the aggregates for programmatic
+// clients.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+
+	"indice/internal/assoc"
+	"indice/internal/core"
+	"indice/internal/dashboard"
+	"indice/internal/epc"
+	"indice/internal/geo"
+	"indice/internal/query"
+	"indice/internal/stats"
+)
+
+// Server serves the dashboards of one engine. The engine is treated as
+// read-only after construction; run Preprocess/Analyze before wiring it.
+type Server struct {
+	eng *core.Engine
+	an  *core.Analysis
+	mux *http.ServeMux
+}
+
+// New builds a Server. The analysis may be nil; analytic routes then
+// return 404.
+func New(eng *core.Engine, an *core.Analysis) (*Server, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("server: nil engine")
+	}
+	s := &Server{eng: eng, an: an, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/dashboard/", s.handleDashboard)
+	s.mux.HandleFunc("/map", s.handleMap)
+	s.mux.HandleFunc("/api/stats", s.handleStats)
+	s.mux.HandleFunc("/api/zones", s.handleZones)
+	s.mux.HandleFunc("/api/rules", s.handleRules)
+	s.mux.HandleFunc("/api/clusters", s.handleClusters)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// handleIndex lists the navigable views.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>INDICE</title></head><body>")
+	b.WriteString("<h1>INDICE</h1>")
+	fmt.Fprintf(&b, "<p>%d certificates loaded.</p>", s.eng.Table().NumRows())
+	b.WriteString("<h2>Dashboards</h2><ul>")
+	for _, st := range []query.Stakeholder{query.Citizen, query.PublicAdministration, query.EnergyScientist} {
+		fmt.Fprintf(&b, `<li><a href="/dashboard/%s">%s</a></li>`, st, st)
+	}
+	b.WriteString("</ul><h2>Energy maps (drill-down)</h2><ul>")
+	for _, l := range []geo.Level{geo.LevelCity, geo.LevelDistrict, geo.LevelNeighbourhood, geo.LevelUnit} {
+		fmt.Fprintf(&b, `<li><a href="/map?level=%s&attr=%s">%s zoom</a></li>`, l, epc.AttrEPH, l)
+	}
+	b.WriteString("</ul><h2>APIs</h2><ul>")
+	for _, api := range []string{
+		"/api/stats?attr=" + epc.AttrEPH,
+		"/api/zones?level=district&attr=" + epc.AttrEPH,
+		"/api/rules?k=10",
+		"/api/clusters",
+	} {
+		fmt.Fprintf(&b, `<li><a href="%s">%s</a></li>`, api, html.EscapeString(api))
+	}
+	b.WriteString("</ul></body></html>")
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}
+
+// handleDashboard renders a full stakeholder dashboard.
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/dashboard/")
+	st, err := query.ParseStakeholder(name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	page, err := s.eng.Dashboard(st, s.an)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, page)
+}
+
+// handleMap renders one energy map: /map?level=district&attr=eph. The
+// SVG is wrapped in a small HTML page with drill links so the user can
+// navigate zoom levels, the paper's core interaction.
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	levelName := r.URL.Query().Get("level")
+	if levelName == "" {
+		levelName = "city"
+	}
+	level, err := geo.ParseLevel(levelName)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	attr := r.URL.Query().Get("attr")
+	if attr == "" {
+		attr = epc.AttrEPH
+	}
+	if typ, err := s.eng.Table().TypeOf(attr); err != nil || typ.String() != "float64" {
+		http.Error(w, fmt.Sprintf("unknown numeric attribute %q", attr), http.StatusBadRequest)
+		return
+	}
+	svg, kind, err := dashboard.RenderMap(s.eng.Table(), s.eng.Hierarchy(), dashboard.MapSpec{
+		Title: fmt.Sprintf("Average %s — %s zoom", attr, level),
+		Level: level,
+		Attr:  attr,
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if r.URL.Query().Get("raw") == "1" {
+		w.Header().Set("Content-Type", "image/svg+xml")
+		fmt.Fprint(w, svg)
+		return
+	}
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>INDICE map</title></head><body>")
+	fmt.Fprintf(&b, "<p>%s map — drill: ", kind)
+	for _, l := range []geo.Level{geo.LevelCity, geo.LevelDistrict, geo.LevelNeighbourhood, geo.LevelUnit} {
+		if l == level {
+			fmt.Fprintf(&b, "<b>%s</b> ", l)
+		} else {
+			fmt.Fprintf(&b, `<a href="/map?level=%s&attr=%s">%s</a> `, l, html.EscapeString(attr), l)
+		}
+	}
+	b.WriteString("| attribute: ")
+	for _, a := range []string{epc.AttrEPH, epc.AttrUOpaque, epc.AttrUWindows, epc.AttrETAH} {
+		if a == attr {
+			fmt.Fprintf(&b, "<b>%s</b> ", a)
+		} else {
+			fmt.Fprintf(&b, `<a href="/map?level=%s&attr=%s">%s</a> `, level, a, a)
+		}
+	}
+	b.WriteString("</p>")
+	b.WriteString(svg)
+	b.WriteString("</body></html>")
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}
+
+// statsResponse is the JSON shape of /api/stats.
+type statsResponse struct {
+	Attr   string  `json:"attr"`
+	Count  int     `json:"count"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Q1     float64 `json:"q1"`
+	Median float64 `json:"median"`
+	Q3     float64 `json:"q3"`
+	Max    float64 `json:"max"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	attr := r.URL.Query().Get("attr")
+	if attr == "" {
+		http.Error(w, "attr query parameter required", http.StatusBadRequest)
+		return
+	}
+	vals, err := s.eng.Table().ValidFloats(attr)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	d, err := stats.Describe(vals)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	writeJSON(w, statsResponse{
+		Attr: attr, Count: d.Count, Mean: d.Mean, StdDev: d.StdDev,
+		Min: d.Min, Q1: d.Q1, Median: d.Median, Q3: d.Q3, Max: d.Max,
+	})
+}
+
+// zoneResponse is the JSON shape of one /api/zones element.
+type zoneResponse struct {
+	ID    string  `json:"id"`
+	Name  string  `json:"name"`
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+}
+
+func (s *Server) handleZones(w http.ResponseWriter, r *http.Request) {
+	levelName := r.URL.Query().Get("level")
+	if levelName == "" {
+		levelName = "district"
+	}
+	level, err := geo.ParseLevel(levelName)
+	if err != nil || level == geo.LevelUnit {
+		http.Error(w, "level must be city, district or neighbourhood", http.StatusBadRequest)
+		return
+	}
+	attr := r.URL.Query().Get("attr")
+	if attr == "" {
+		attr = epc.AttrEPH
+	}
+	zs, err := dashboard.AggregateByZone(s.eng.Table(), s.eng.Hierarchy(), level, attr)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	out := make([]zoneResponse, 0, len(zs))
+	for _, z := range zs {
+		mean := z.Mean
+		if math.IsNaN(mean) {
+			// Zones without data serialize with mean 0 and count 0; JSON
+			// cannot carry NaN.
+			mean = 0
+		}
+		out = append(out, zoneResponse{ID: z.Zone.ID, Name: z.Zone.Name, Count: z.Count, Mean: mean})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, out)
+}
+
+// ruleResponse is the JSON shape of one /api/rules element.
+type ruleResponse struct {
+	Antecedent string  `json:"antecedent"`
+	Consequent string  `json:"consequent"`
+	Support    float64 `json:"support"`
+	Confidence float64 `json:"confidence"`
+	Lift       float64 `json:"lift"`
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	if s.an == nil {
+		http.Error(w, "analysis not available", http.StatusNotFound)
+		return
+	}
+	k := 20
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		if _, err := fmt.Sscanf(raw, "%d", &k); err != nil || k < 1 {
+			http.Error(w, "k must be a positive integer", http.StatusBadRequest)
+			return
+		}
+	}
+	top := assoc.TopK(s.an.Rules, assoc.ByLift, k)
+	out := make([]ruleResponse, 0, len(top))
+	for _, rule := range top {
+		out = append(out, ruleResponse{
+			Antecedent: rule.Antecedent.String(),
+			Consequent: rule.Consequent.String(),
+			Support:    rule.Support,
+			Confidence: rule.Confidence,
+			Lift:       rule.Lift,
+		})
+	}
+	writeJSON(w, out)
+}
+
+// clusterResponse is the JSON shape of one /api/clusters element.
+type clusterResponse struct {
+	Cluster      int     `json:"cluster"`
+	Size         int     `json:"size"`
+	MeanResponse float64 `json:"mean_response"`
+}
+
+func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
+	if s.an == nil || s.an.Clustering == nil {
+		http.Error(w, "analysis not available", http.StatusNotFound)
+		return
+	}
+	out := make([]clusterResponse, s.an.ChosenK)
+	for c := 0; c < s.an.ChosenK; c++ {
+		mean := s.an.ClusterResponseMeans[c]
+		if math.IsNaN(mean) {
+			mean = 0
+		}
+		out[c] = clusterResponse{
+			Cluster:      c,
+			Size:         s.an.Clustering.Sizes[c],
+			MeanResponse: mean,
+		}
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

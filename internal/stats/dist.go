@@ -1,0 +1,273 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// This file implements the special functions needed by the generalized ESD
+// test: the log-gamma function, the regularized incomplete beta function,
+// and the Student-t cumulative distribution and its inverse. They are
+// written against the standard references (Lanczos approximation and the
+// Lentz continued-fraction evaluation) so the package stays stdlib-only.
+
+// lanczosCoef are the Lanczos g=7, n=9 coefficients.
+var lanczosCoef = [...]float64{
+	0.99999999999980993,
+	676.5203681218851,
+	-1259.1392167224028,
+	771.32342877765313,
+	-176.61502916214059,
+	12.507343278686905,
+	-0.13857109526572012,
+	9.9843695780195716e-6,
+	1.5056327351493116e-7,
+}
+
+// LogGamma returns ln Γ(x) for x > 0.
+func LogGamma(x float64) float64 {
+	if x < 0.5 {
+		// Reflection formula: Γ(x)Γ(1-x) = π / sin(πx).
+		return math.Log(math.Pi/math.Sin(math.Pi*x)) - LogGamma(1-x)
+	}
+	x--
+	a := lanczosCoef[0]
+	t := x + 7.5
+	for i := 1; i < len(lanczosCoef); i++ {
+		a += lanczosCoef[i] / (x + float64(i))
+	}
+	return 0.5*math.Log(2*math.Pi) + (x+0.5)*math.Log(t) - t + math.Log(a)
+}
+
+// betacf evaluates the continued fraction for the incomplete beta function
+// using the modified Lentz method.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// RegIncBeta returns the regularized incomplete beta function I_x(a, b)
+// for a, b > 0 and 0 ≤ x ≤ 1.
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	ln := LogGamma(a+b) - LogGamma(a) - LogGamma(b) +
+		a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(ln)
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+// StudentTCDF returns P(T ≤ t) for a Student-t variable with nu degrees of
+// freedom.
+func StudentTCDF(t, nu float64) float64 {
+	if nu <= 0 {
+		return math.NaN()
+	}
+	if t == 0 {
+		return 0.5
+	}
+	// Use I_x(a,b) = 1 - I_{1-x}(b,a) with 1-x = t²/(nu+t²) computed
+	// directly, avoiding catastrophic cancellation for small |t|.
+	y := t * t / (nu + t*t)
+	iy := RegIncBeta(0.5, nu/2, y)
+	if t > 0 {
+		return 0.5 + 0.5*iy
+	}
+	return 0.5 - 0.5*iy
+}
+
+// StudentTQuantile returns the p-quantile of the Student-t distribution
+// with nu degrees of freedom, computed by bisection on the CDF. It returns
+// an error for p outside (0,1) or non-positive nu.
+func StudentTQuantile(p, nu float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, errors.New("stats: t quantile p out of range (0,1)")
+	}
+	if nu <= 0 {
+		return 0, errors.New("stats: t quantile requires nu > 0")
+	}
+	// Bracket the root; the t distribution has heavy tails for small nu, so
+	// widen geometrically until the CDF straddles p.
+	lo, hi := -1.0, 1.0
+	for StudentTCDF(lo, nu) > p {
+		lo *= 2
+		if lo < -1e12 {
+			break
+		}
+	}
+	for StudentTCDF(hi, nu) < p {
+		hi *= 2
+		if hi > 1e12 {
+			break
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if StudentTCDF(mid, nu) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+math.Abs(hi)) {
+			break
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// GESDResult describes the outcome of one generalized ESD iteration: the
+// index of the most extreme remaining value, its test statistic R, and the
+// critical value lambda it was compared against.
+type GESDResult struct {
+	Index    int // index into the original input slice
+	Value    float64
+	R        float64
+	Lambda   float64
+	Outlying bool // R > Lambda
+}
+
+// GESD runs the generalized (extreme Studentized deviate) many-outlier
+// procedure of Rosner (1983) on xs, testing for up to maxOutliers outliers
+// at significance level alpha. It returns the per-iteration results and the
+// indices (into xs) of the values declared outliers: the largest r ≤
+// maxOutliers such that R_r > lambda_r determines that the r most extreme
+// values are outliers.
+func GESD(xs []float64, maxOutliers int, alpha float64) ([]GESDResult, []int, error) {
+	if maxOutliers < 1 {
+		return nil, nil, errors.New("stats: gESD requires maxOutliers >= 1")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return nil, nil, errors.New("stats: gESD alpha must be in (0,1)")
+	}
+	type pt struct {
+		idx int
+		val float64
+	}
+	work := make([]pt, 0, len(xs))
+	for i, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			work = append(work, pt{i, x})
+		}
+	}
+	n := len(work)
+	if n < 3 {
+		return nil, nil, ErrShort
+	}
+	if maxOutliers > n-2 {
+		maxOutliers = n - 2
+	}
+
+	results := make([]GESDResult, 0, maxOutliers)
+	vals := make([]float64, n)
+	for i, w := range work {
+		vals[i] = w.val
+	}
+	for iter := 1; iter <= maxOutliers; iter++ {
+		m := len(work)
+		cur := make([]float64, m)
+		for i, w := range work {
+			cur[i] = w.val
+		}
+		mean, _ := Mean(cur)
+		sd, _ := StdDev(cur)
+		// Most extreme deviation from the mean.
+		best := 0
+		bestDev := -1.0
+		for i, w := range work {
+			d := math.Abs(w.val - mean)
+			if d > bestDev {
+				bestDev = d
+				best = i
+			}
+		}
+		var r float64
+		if sd > 0 {
+			r = bestDev / sd
+		}
+		// Critical value lambda_i for this iteration.
+		nf := float64(n)
+		i := float64(iter)
+		p := 1 - alpha/(2*(nf-i+1))
+		df := nf - i - 1
+		tq, err := StudentTQuantile(p, df)
+		if err != nil {
+			return nil, nil, err
+		}
+		lambda := (nf - i) * tq / math.Sqrt((df+tq*tq)*(nf-i+1))
+
+		res := GESDResult{
+			Index:    work[best].idx,
+			Value:    work[best].val,
+			R:        r,
+			Lambda:   lambda,
+			Outlying: r > lambda,
+		}
+		results = append(results, res)
+		// Remove the extreme value and continue.
+		work = append(work[:best], work[best+1:]...)
+	}
+
+	// Number of outliers = largest r with R_r > lambda_r.
+	numOut := 0
+	for i, res := range results {
+		if res.Outlying {
+			numOut = i + 1
+		}
+	}
+	outIdx := make([]int, 0, numOut)
+	for i := 0; i < numOut; i++ {
+		outIdx = append(outIdx, results[i].Index)
+	}
+	return results, outIdx, nil
+}

@@ -1,0 +1,197 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"indice/internal/epc"
+	"indice/internal/table"
+)
+
+// CorruptionConfig sets the error-injection rates. Each rate is the
+// per-row probability of that defect. Rates reflect what the paper reports
+// qualitatively about the Piedmont dump: the address field "often contains
+// numerous typos and input errors".
+type CorruptionConfig struct {
+	Seed int64
+	// AddressTypoRate corrupts the free-text address with 1-3 edits.
+	AddressTypoRate float64
+	// ZIPMissingRate blanks the postal code.
+	ZIPMissingRate float64
+	// ZIPWrongRate replaces the postal code with a wrong one.
+	ZIPWrongRate float64
+	// CoordMissingRate blanks latitude and longitude.
+	CoordMissingRate float64
+	// CoordNoiseRate perturbs coordinates by up to ~500 m.
+	CoordNoiseRate float64
+	// OutlierRate plants a gross numeric outlier in one of the
+	// thermo-physical case-study attributes.
+	OutlierRate float64
+	// MissingNumericRate blanks one random numeric attribute.
+	MissingNumericRate float64
+}
+
+// DefaultCorruptionConfig mirrors a realistically dirty open-data dump.
+func DefaultCorruptionConfig() CorruptionConfig {
+	return CorruptionConfig{
+		Seed:               2,
+		AddressTypoRate:    0.12,
+		ZIPMissingRate:     0.05,
+		ZIPWrongRate:       0.02,
+		CoordMissingRate:   0.04,
+		CoordNoiseRate:     0.06,
+		OutlierRate:        0.015,
+		MissingNumericRate: 0.03,
+	}
+}
+
+// Truth records, per corrupted row, what the original values were, so the
+// cleaning experiments can score precision and recall.
+type Truth struct {
+	// Address, ZIP and Point hold the pre-corruption location values for
+	// every row (not only corrupted ones).
+	Address []string
+	ZIP     []string
+	Lat     []float64
+	Lon     []float64
+	// TypoRows lists rows whose address was corrupted.
+	TypoRows []int
+	// ZIPDamagedRows lists rows whose ZIP was blanked or replaced.
+	ZIPDamagedRows []int
+	// CoordDamagedRows lists rows whose coordinates were blanked or noised.
+	CoordDamagedRows []int
+	// OutlierRows maps attribute name to the rows where a gross outlier
+	// was planted.
+	OutlierRows map[string][]int
+}
+
+// Corrupt applies the configured defects to a copy of the dataset table
+// and returns the corrupted table plus the ground truth. The input table
+// is not modified.
+func Corrupt(t *table.Table, cfg CorruptionConfig) (*table.Table, *Truth, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := t.Clone()
+	n := out.NumRows()
+
+	addr, err := out.Strings(epc.AttrAddress)
+	if err != nil {
+		return nil, nil, fmt.Errorf("synth: corrupt: %w", err)
+	}
+	zip, err := out.Strings(epc.AttrZIP)
+	if err != nil {
+		return nil, nil, fmt.Errorf("synth: corrupt: %w", err)
+	}
+	lat, err := out.Floats(epc.AttrLatitude)
+	if err != nil {
+		return nil, nil, fmt.Errorf("synth: corrupt: %w", err)
+	}
+	lon, err := out.Floats(epc.AttrLongitude)
+	if err != nil {
+		return nil, nil, fmt.Errorf("synth: corrupt: %w", err)
+	}
+
+	truth := &Truth{
+		Address:     append([]string(nil), addr...),
+		ZIP:         append([]string(nil), zip...),
+		Lat:         append([]float64(nil), lat...),
+		Lon:         append([]float64(nil), lon...),
+		OutlierRows: make(map[string][]int),
+	}
+
+	for i := 0; i < n; i++ {
+		if rng.Float64() < cfg.AddressTypoRate {
+			mutated := typo(rng, addr[i], 1+rng.Intn(3))
+			if err := out.SetString(epc.AttrAddress, i, mutated); err != nil {
+				return nil, nil, err
+			}
+			truth.TypoRows = append(truth.TypoRows, i)
+		}
+		switch {
+		case rng.Float64() < cfg.ZIPMissingRate:
+			if err := out.SetInvalid(epc.AttrZIP, i); err != nil {
+				return nil, nil, err
+			}
+			truth.ZIPDamagedRows = append(truth.ZIPDamagedRows, i)
+		case rng.Float64() < cfg.ZIPWrongRate:
+			if err := out.SetString(epc.AttrZIP, i, fmt.Sprintf("10%03d", rng.Intn(999))); err != nil {
+				return nil, nil, err
+			}
+			truth.ZIPDamagedRows = append(truth.ZIPDamagedRows, i)
+		}
+		switch {
+		case rng.Float64() < cfg.CoordMissingRate:
+			if err := out.SetInvalid(epc.AttrLatitude, i); err != nil {
+				return nil, nil, err
+			}
+			if err := out.SetInvalid(epc.AttrLongitude, i); err != nil {
+				return nil, nil, err
+			}
+			truth.CoordDamagedRows = append(truth.CoordDamagedRows, i)
+		case rng.Float64() < cfg.CoordNoiseRate:
+			// ~500 m of noise: enough to cross a neighbourhood boundary.
+			if err := out.SetFloat(epc.AttrLatitude, i, lat[i]+(rng.Float64()-0.5)*0.01); err != nil {
+				return nil, nil, err
+			}
+			if err := out.SetFloat(epc.AttrLongitude, i, lon[i]+(rng.Float64()-0.5)*0.01); err != nil {
+				return nil, nil, err
+			}
+			truth.CoordDamagedRows = append(truth.CoordDamagedRows, i)
+		}
+		if rng.Float64() < cfg.OutlierRate {
+			attr := epc.CaseStudyAttributes[rng.Intn(len(epc.CaseStudyAttributes))]
+			spec, _ := epc.Spec(attr)
+			// Gross out-of-range value, as produced by unit mistakes
+			// (e.g. cm2 instead of m2) or decimal-point slips.
+			var v float64
+			if rng.Float64() < 0.7 {
+				v = spec.Max * (2.5 + rng.Float64()*8)
+			} else {
+				v = spec.Min * (0.02 + rng.Float64()*0.1)
+			}
+			if math.IsNaN(v) || v == 0 {
+				v = spec.Max * 10
+			}
+			if err := out.SetFloat(attr, i, v); err != nil {
+				return nil, nil, err
+			}
+			truth.OutlierRows[attr] = append(truth.OutlierRows[attr], i)
+		}
+		if rng.Float64() < cfg.MissingNumericRate {
+			names := epc.NumericNames()
+			attr := names[rng.Intn(len(names))]
+			if err := out.SetInvalid(attr, i); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return out, truth, nil
+}
+
+// typo applies k random character edits (substitution, deletion, swap,
+// duplication) to s, mimicking manual data-entry errors.
+func typo(rng *rand.Rand, s string, k int) string {
+	rs := []rune(s)
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	for e := 0; e < k && len(rs) > 1; e++ {
+		pos := rng.Intn(len(rs))
+		switch rng.Intn(4) {
+		case 0: // substitute
+			rs[pos] = rune(letters[rng.Intn(len(letters))])
+		case 1: // delete
+			rs = append(rs[:pos], rs[pos+1:]...)
+		case 2: // swap with the next rune
+			if pos+1 < len(rs) {
+				rs[pos], rs[pos+1] = rs[pos+1], rs[pos]
+			}
+		case 3: // duplicate
+			rs = append(rs[:pos+1], rs[pos:]...)
+		}
+	}
+	out := strings.TrimSpace(string(rs))
+	if out == "" {
+		return s
+	}
+	return out
+}

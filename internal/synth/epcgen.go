@@ -1,0 +1,438 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"indice/internal/epc"
+	"indice/internal/geo"
+	"indice/internal/table"
+)
+
+// Config parameterizes EPC dataset generation.
+type Config struct {
+	// Seed drives the deterministic RNG.
+	Seed int64
+	// Certificates is the number of EPC rows (the paper's dump has ≈25000).
+	Certificates int
+	// ResidentialShare is the fraction of certificates with intended use
+	// E.1.1 (the case-study selection).
+	ResidentialShare float64
+}
+
+// DefaultConfig mirrors the paper's dataset scale.
+func DefaultConfig() Config {
+	return Config{Seed: 1, Certificates: 25000, ResidentialShare: 0.72}
+}
+
+// Dataset bundles the generated table with the ground truth needed by the
+// experiment harness: the city substrate and the per-row building index.
+type Dataset struct {
+	Table *table.Table
+	City  *City
+	// BuildingIndex maps each certificate row to the street-registry entry
+	// (the building) it belongs to.
+	BuildingIndex []int
+}
+
+// archetype holds the era-dependent distribution parameters of the
+// thermo-physical attributes. Means shift with construction era; the
+// within-era standard deviations are kept comparable to the across-era
+// spread so pairwise correlations stay weak, reproducing the Figure 3
+// shape ("no evident linear association").
+type archetype struct {
+	uOpaqueMean, uOpaqueSD float64
+	uWindowMean, uWindowSD float64
+	etahMean, etahSD       float64
+}
+
+// archetypes indexes by construction-era position in epc.ConstructionEras.
+var archetypes = []archetype{
+	{1.40, 0.30, 4.6, 0.75, 0.58, 0.12}, // pre-1919
+	{1.30, 0.28, 4.4, 0.70, 0.60, 0.12}, // 1919-1945
+	{1.20, 0.27, 4.2, 0.70, 0.63, 0.11}, // 1946-1960
+	{1.10, 0.26, 3.8, 0.65, 0.66, 0.11}, // 1961-1975
+	{0.90, 0.24, 3.2, 0.60, 0.71, 0.10}, // 1976-1990
+	{0.70, 0.20, 2.6, 0.55, 0.78, 0.09}, // 1991-2005
+	{0.48, 0.14, 1.9, 0.45, 0.87, 0.08}, // 2006-2015
+	{0.32, 0.10, 1.4, 0.30, 0.94, 0.07}, // post-2015
+}
+
+// eraWeights is the construction-period mix of the stock (older eras
+// dominate an Italian city).
+var eraWeights = []float64{0.16, 0.12, 0.15, 0.22, 0.15, 0.10, 0.07, 0.03}
+
+// buildingTypeSV maps typology to typical aspect-ratio (S/V) means.
+var buildingTypeSV = map[string]float64{
+	"detached":        0.92,
+	"semi-detached":   0.78,
+	"terraced":        0.65,
+	"apartment-block": 0.48,
+	"tower":           0.38,
+	"mixed-use":       0.55,
+}
+
+var buildingTypes = []string{"detached", "semi-detached", "terraced", "apartment-block", "tower", "mixed-use"}
+var buildingTypeWeights = []float64{0.08, 0.07, 0.12, 0.55, 0.10, 0.08}
+
+// Generate builds a schema-conformant EPC table over the given city.
+func Generate(cfg Config, city *City) (*Dataset, error) {
+	if cfg.Certificates < 1 {
+		return nil, fmt.Errorf("synth: need at least one certificate, got %d", cfg.Certificates)
+	}
+	if cfg.ResidentialShare < 0 || cfg.ResidentialShare > 1 {
+		return nil, fmt.Errorf("synth: residential share %v out of [0,1]", cfg.ResidentialShare)
+	}
+	if len(city.Entries) == 0 {
+		return nil, fmt.Errorf("synth: city has no street entries")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Certificates
+
+	numeric := make(map[string][]float64, 43)
+	for _, name := range epc.NumericNames() {
+		numeric[name] = make([]float64, n)
+	}
+	categorical := make(map[string][]string, 89)
+	for _, name := range epc.CategoricalNames() {
+		categorical[name] = make([]string, n)
+	}
+	buildingIdx := make([]int, n)
+
+	points := make([]geo.Point, n)
+	for i := 0; i < n; i++ {
+		ei := rng.Intn(len(city.Entries))
+		entry := &city.Entries[ei]
+		buildingIdx[i] = ei
+		points[i] = entry.Point
+
+		era := weightedPick(rng, eraWeights)
+		btype := buildingTypes[weightedPick(rng, buildingTypeWeights)]
+
+		// Walls follow the construction era; windows and heating plants
+		// are frequently replaced later, so their effective era is often
+		// more recent. Besides realism, this independent-renovation model
+		// keeps the pairwise predictor correlations weak (Figure 3).
+		windowEra := era
+		if era < 7 && rng.Float64() < 0.5 {
+			windowEra = era + 1 + rng.Intn(7-era)
+		}
+		plantEra := era
+		if era < 7 && rng.Float64() < 0.7 {
+			plantEra = era + 1 + rng.Intn(7-era)
+		}
+		uo := clamp(rng.NormFloat64()*archetypes[era].uOpaqueSD+archetypes[era].uOpaqueMean, 0.15, 2.2)
+		uw := clamp(rng.NormFloat64()*archetypes[windowEra].uWindowSD+archetypes[windowEra].uWindowMean, 0.8, 6.0)
+		etah := clamp(rng.NormFloat64()*archetypes[plantEra].etahSD+archetypes[plantEra].etahMean, 0.2, 1.1)
+		sv := clamp(rng.NormFloat64()*0.13+buildingTypeSV[btype], 0.2, 1.1)
+		// Heated surface: lognormal around ~85 m2 for flats, larger for
+		// detached houses.
+		srMean := 85.0
+		if btype == "detached" || btype == "semi-detached" {
+			srMean = 150
+		}
+		sr := clamp(math.Exp(rng.NormFloat64()*0.45+math.Log(srMean)), 15, 2000)
+		dd := clamp(rng.NormFloat64()*150+2650, 1400, 5000)
+
+		// Simplified steady-state heating balance: demand grows with
+		// envelope transmittance and compactness loss, shrinks with plant
+		// efficiency. Calibrated so the stock median lands in class D.
+		eph := 52 * (dd / 2600) * (0.7*uo + 0.30*uw) * (0.45 + sv) / etah
+		eph *= math.Exp(rng.NormFloat64() * 0.18)
+		eph = clamp(eph, 5, 600)
+
+		numeric[epc.AttrAspectRatio][i] = round3(sv)
+		numeric[epc.AttrUOpaque][i] = round3(uo)
+		numeric[epc.AttrUWindows][i] = round3(uw)
+		numeric[epc.AttrHeatSurface][i] = round2(sr)
+		numeric[epc.AttrETAH][i] = round3(etah)
+		numeric[epc.AttrEPH][i] = round2(eph)
+		numeric[epc.AttrLatitude][i] = entry.Point.Lat
+		numeric[epc.AttrLongitude][i] = entry.Point.Lon
+		numeric["degree_days"][i] = round1(dd)
+
+		fillDerivedNumerics(rng, numeric, i, sr, sv, uo, uw, etah, eph, era)
+
+		categorical[epc.AttrCertificateID][i] = fmt.Sprintf("EPC-%07d", i+1)
+		categorical[epc.AttrAddress][i] = entry.Street
+		categorical[epc.AttrHouseNumber][i] = entry.HouseNumber
+		categorical[epc.AttrZIP][i] = entry.ZIP
+		categorical[epc.AttrCity][i] = city.Name
+		categorical["province"][i] = "TO"
+		categorical["region"][i] = "Piemonte"
+		categorical[epc.AttrConstructionEra][i] = epc.ConstructionEras[era]
+		categorical["building_type"][i] = btype
+		categorical[epc.AttrEnergyClass][i] = epc.ClassForEPH(eph)
+		if rng.Float64() < cfg.ResidentialShare {
+			categorical[epc.AttrIntendedUse][i] = epc.UseResidential
+		} else {
+			categorical[epc.AttrIntendedUse][i] = epc.IntendedUses[1+rng.Intn(len(epc.IntendedUses)-1)]
+		}
+		fillOtherCategoricals(rng, categorical, i, era, eph)
+	}
+
+	// Administrative labels come from the hierarchy, like the real dump
+	// derives them from geocoded coordinates.
+	dIDs := city.Hierarchy.Assign(points, geo.LevelDistrict)
+	nIDs := city.Hierarchy.Assign(points, geo.LevelNeighbourhood)
+	copy(categorical[epc.AttrDistrict], dIDs)
+	copy(categorical[epc.AttrNeighbourhood], nIDs)
+
+	t := table.New()
+	for _, name := range epc.NumericNames() {
+		if err := t.AddFloats(name, numeric[name]); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range epc.CategoricalNames() {
+		if err := t.AddStrings(name, categorical[name]); err != nil {
+			return nil, err
+		}
+	}
+	return &Dataset{Table: t, City: city, BuildingIndex: buildingIdx}, nil
+}
+
+func weightedPick(rng *rand.Rand, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// fillDerivedNumerics populates the remaining quantitative attributes with
+// physically coherent values derived from the core ones.
+func fillDerivedNumerics(rng *rand.Rand, numeric map[string][]float64, i int, sr, sv, uo, uw, etah, eph float64, era int) {
+	height := 2.5 + rng.Float64()*0.8
+	vol := sr * height
+	glazedRatio := clamp(0.08+rng.NormFloat64()*0.04+0.1*rng.Float64(), 0.02, 0.5)
+	opaque := clamp(sv*vol*(1-glazedRatio), 20, 5000)
+	glazed := clamp(sv*vol*glazedRatio, 1, 600)
+	epw := clamp(9+rng.NormFloat64()*4, 2, 80)
+
+	set := func(name string, v float64) { numeric[name][i] = v }
+	set("heated_volume", round1(clamp(vol, 40, 8000)))
+	set("gross_volume", round1(clamp(vol*1.15, 50, 10000)))
+	set("net_floor_area", round2(clamp(sr*0.9, 12, 1800)))
+	set("opaque_area", round1(opaque))
+	set("glazed_area", round1(glazed))
+	set("glazed_ratio", round3(glazedRatio))
+	set("floors", math.Floor(clamp(1+rng.Float64()*7, 1, 12)))
+	set("avg_floor_height", round2(clamp(height, 2.2, 4.5)))
+	set("u_roof", round3(clamp(uo*(0.8+rng.Float64()*0.4), 0.1, 2.5)))
+	set("u_floor", round3(clamp(uo*(0.7+rng.Float64()*0.5), 0.1, 2.5)))
+	set("solar_factor", round3(clamp(0.75-0.05*float64(era)+rng.NormFloat64()*0.06, 0.2, 0.9)))
+	set("thermal_capacity", round1(clamp(150+rng.NormFloat64()*50, 80, 400)))
+	set("air_change_rate", round3(clamp(0.5+rng.NormFloat64()*0.25, 0.1, 2.0)))
+	set("design_temp", round1(clamp(-8+rng.NormFloat64()*2, -20, 5)))
+	set("indoor_temp", round1(clamp(20+rng.NormFloat64()*0.6, 18, 22)))
+	set("nominal_power", round1(clamp(eph*sr/1500+10+rng.NormFloat64()*5, 4, 400)))
+	set("generator_year", math.Floor(clamp(1975+float64(era)*5+rng.Float64()*15, 1960, 2018)))
+	set("year_built", math.Floor(eraYear(rng, era)))
+	set("ep_w", round2(epw))
+	set("ep_c", round2(clamp(rng.Float64()*25, 0, 60)))
+	set("ep_v", round2(clamp(rng.Float64()*8, 0, 30)))
+	set("ep_gl", round2(clamp(eph+epw+numeric["ep_c"][i]+numeric["ep_v"][i], 10, 800)))
+	set("co2_emissions", round2(clamp(numeric["ep_gl"][i]*0.2*(0.8+rng.Float64()*0.4), 1, 160)))
+	renew := clamp(math.Max(0, rng.NormFloat64()*0.08+0.05+0.04*float64(era)), 0, 1)
+	set("renewable_share", round3(renew))
+	genEff := clamp(etah+0.12+rng.NormFloat64()*0.04, 0.4, 1.2)
+	set("generation_efficiency", round3(genEff))
+	set("distribution_efficiency", round3(clamp(0.92+rng.NormFloat64()*0.04, 0.5, 1.0)))
+	set("emission_efficiency", round3(clamp(0.93+rng.NormFloat64()*0.03, 0.5, 1.0)))
+	set("control_efficiency", round3(clamp(0.9+rng.NormFloat64()*0.05, 0.5, 1.0)))
+	set("etaw", round3(clamp(etah*(0.9+rng.Float64()*0.2), 0.2, 1.1)))
+	set("dhw_demand", round2(clamp(sr*0.25+rng.NormFloat64()*3, 1, 60)))
+	pv := 0.0
+	if rng.Float64() < 0.12+0.05*float64(era) {
+		pv = clamp(3+rng.Float64()*6, 0, 40)
+	}
+	set("pv_power", round2(pv))
+	st := 0.0
+	if rng.Float64() < 0.08+0.04*float64(era) {
+		st = clamp(2+rng.Float64()*5, 0, 40)
+	}
+	set("solar_thermal_area", round2(st))
+	set("primary_energy_electric", round2(clamp(numeric["ep_gl"][i]*0.18*(0.7+rng.Float64()*0.6), 0, 300)))
+	set("primary_energy_gas", round2(clamp(numeric["ep_gl"][i]*0.75*(0.7+rng.Float64()*0.6), 0, 700)))
+}
+
+func eraYear(rng *rand.Rand, era int) float64 {
+	spans := [][2]float64{
+		{1850, 1918}, {1919, 1945}, {1946, 1960}, {1961, 1975},
+		{1976, 1990}, {1991, 2005}, {2006, 2015}, {2016, 2018},
+	}
+	s := spans[era]
+	return s[0] + rng.Float64()*(s[1]-s[0])
+}
+
+// fillOtherCategoricals populates the remaining categorical attributes.
+// Era and energy performance bias a few of them (insulation, generator,
+// recommendations) so the association-rule miner has real structure to
+// find; the rest are sampled from their level lists.
+func fillOtherCategoricals(rng *rand.Rand, categorical map[string][]string, i, era int, eph float64) {
+	set := func(name, v string) { categorical[name][i] = v }
+	pick := func(name string) string {
+		spec, _ := epc.Spec(name)
+		return spec.Levels[rng.Intn(len(spec.Levels))]
+	}
+	yes := func(p float64) string {
+		if rng.Float64() < p {
+			return "yes"
+		}
+		return "no"
+	}
+
+	modern := float64(era) / 7 // 0 oldest .. 1 newest
+	inefficient := eph > 130
+
+	set("previous_class", "none")
+	if rng.Float64() < 0.15 {
+		set("previous_class", epc.EnergyClasses[rng.Intn(len(epc.EnergyClasses))])
+	}
+	set("certification_reason", pick("certification_reason"))
+	set("certifier_id", certifierIDs[rng.Intn(len(certifierIDs))])
+	issue := []string{"2016", "2017", "2018"}[rng.Intn(3)]
+	set("issue_year", issue)
+	set("expiry_year", fmt.Sprintf("%d", atoi(issue)+10))
+
+	// Envelope: insulation improves with era.
+	switch {
+	case rng.Float64() < 0.15+0.7*modern:
+		set("insulation_level", "full")
+	case rng.Float64() < 0.5:
+		set("insulation_level", "partial")
+	default:
+		set("insulation_level", "none")
+	}
+	set("wall_type", pick("wall_type"))
+	set("roof_type", pick("roof_type"))
+	set("floor_type", pick("floor_type"))
+	if modern > 0.6 {
+		set("window_frame", []string{"pvc", "aluminium-thermal-break", "wood"}[rng.Intn(3)])
+		set("glazing_type", []string{"double-lowE", "triple", "double"}[rng.Intn(3)])
+	} else {
+		set("window_frame", pick("window_frame"))
+		set("glazing_type", []string{"single", "double", "double"}[rng.Intn(3)])
+	}
+	set("shutter_type", pick("shutter_type"))
+	set("facade_orientation", pick("facade_orientation"))
+	set("shading", yes(0.4))
+	set("thermal_bridge_correction", yes(0.2+0.5*modern))
+	set("basement_type", pick("basement_type"))
+	set("attic_type", pick("attic_type"))
+	set("envelope_condition", pick("envelope_condition"))
+	set("window_condition", pick("window_condition"))
+	set("renovation_level", pick("renovation_level"))
+
+	// Heating plant: condensing boilers and heat pumps are modern.
+	condensing := rng.Float64() < 0.1+0.6*modern
+	heatPump := rng.Float64() < 0.02+0.25*modern
+	switch {
+	case heatPump:
+		set("generator_type", "heat-pump")
+		set("heating_fuel", "electricity")
+		set("heat_pump_type", []string{"air-air", "air-water", "ground-water", "water-water"}[rng.Intn(4)])
+	case condensing:
+		set("generator_type", "condensing-boiler")
+		set("heating_fuel", "natural-gas")
+		set("heat_pump_type", "none")
+	default:
+		set("generator_type", []string{"standard-boiler", "stove", "district-substation"}[rng.Intn(3)])
+		set("heating_fuel", pick("heating_fuel"))
+		set("heat_pump_type", "none")
+	}
+	set("condensing_boiler", boolStr(condensing))
+	set("heating_type", pick("heating_type"))
+	set("emitter_type", pick("emitter_type"))
+	set("distribution_type", pick("distribution_type"))
+	set("control_type", pick("control_type"))
+	set("centralized", yes(0.35))
+	set("thermostatic_valves", yes(0.3+0.4*modern))
+	set("district_heating", yes(0.18))
+	set("generator2_present", yes(0.12))
+	if categorical["generator2_present"][i] == "yes" {
+		set("generator2_fuel", []string{"natural-gas", "biomass", "electricity"}[rng.Intn(3)])
+	} else {
+		set("generator2_fuel", "none")
+	}
+	set("heating_schedule", pick("heating_schedule"))
+
+	set("dhw_type", pick("dhw_type"))
+	set("dhw_fuel", pick("dhw_fuel"))
+	set("dhw_storage", yes(0.5))
+	set("dhw_solar_boost", yes(0.1+0.2*modern))
+	set("dhw_centralized", yes(0.25))
+	set("dhw_generator_shared", yes(0.6))
+
+	set("cooling_type", pick("cooling_type"))
+	if categorical["cooling_type"][i] == "none" {
+		set("cooling_fuel", "none")
+	} else {
+		set("cooling_fuel", "electricity")
+	}
+	set("ventilation_type", pick("ventilation_type"))
+	set("mech_ventilation", yes(0.1+0.4*modern))
+	set("heat_recovery", yes(0.05+0.3*modern))
+	set("dehumidification", yes(0.15))
+	set("summer_shading", yes(0.4))
+
+	set("pv_present", boolStr(rng.Float64() < 0.1+0.25*modern))
+	set("solar_thermal_present", boolStr(rng.Float64() < 0.07+0.2*modern))
+	set("biomass_present", yes(0.08))
+	set("geothermal_present", yes(0.015))
+	set("smart_meter", yes(0.3+0.4*modern))
+	set("bms_present", yes(0.05+0.15*modern))
+	set("ev_charging", yes(0.02+0.1*modern))
+	set("storage_battery", yes(0.01+0.08*modern))
+
+	set("nzeb", boolStr(eph < 20 && modern > 0.8))
+	set("min_req_compliance", boolStr(!inefficient || rng.Float64() < 0.3))
+	// Recommendations correlate with poor performance: the structure the
+	// rule miner should surface.
+	set("reco_envelope", boolStr(inefficient && rng.Float64() < 0.85 || rng.Float64() < 0.1))
+	set("reco_systems", boolStr(inefficient && rng.Float64() < 0.7 || rng.Float64() < 0.15))
+	set("reco_renewables", yes(0.35))
+	set("reco_lighting", yes(0.2))
+	set("inspection_done", yes(0.85))
+	set("boiler_certified", yes(0.8))
+	set("asbestos_check", yes(0.5))
+	set("seismic_coupling", yes(0.05))
+
+	set("cadastral_category", pick("cadastral_category"))
+	set("cadastral_section", fmt.Sprintf("%c", 'A'+rng.Intn(4)))
+	set("cadastral_sheet", fmt.Sprintf("%d", 1+rng.Intn(400)))
+	set("cadastral_parcel", fmt.Sprintf("%d", 1+rng.Intn(900)))
+	set("cadastral_subordinate", fmt.Sprintf("%d", 1+rng.Intn(60)))
+	set("istat_code", "001272")
+	set("climate_zone", "E")
+	set("software_used", pick("software_used"))
+	set("standard_version", pick("standard_version"))
+	set("submission_channel", pick("submission_channel"))
+	set("data_source", pick("data_source"))
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func atoi(s string) int {
+	var n int
+	fmt.Sscanf(s, "%d", &n)
+	return n
+}
+
+func round1(x float64) float64 { return math.Round(x*10) / 10 }
+func round2(x float64) float64 { return math.Round(x*100) / 100 }
+func round3(x float64) float64 { return math.Round(x*1000) / 1000 }

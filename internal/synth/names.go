@@ -1,0 +1,44 @@
+// Package synth generates the synthetic substrate the reproduction runs
+// on: a grid-city street registry standing in for the Turin municipal
+// street map, an EPC collection with the paper's cardinalities (≈25 000
+// certificates × 132 attributes) whose thermo-physical attributes follow
+// era-dependent archetypes, and an error injector that plants the address
+// typos, missing fields and numeric outliers the INDICE pre-processing
+// stage exists to clean. All generation is deterministic given a seed.
+package synth
+
+// streetPrefixes are the odonym types of the generated registry.
+var streetPrefixes = []string{"via", "corso", "piazza", "viale", "largo", "strada"}
+
+// streetNames is the toponym vocabulary; combined with prefixes it yields
+// enough distinct streets for a city-sized registry.
+var streetNames = []string{
+	"roma", "garibaldi", "vittorio emanuele", "duca degli abruzzi",
+	"castello", "san carlo", "po", "nizza", "madama cristina",
+	"montebello", "cavour", "mazzini", "verdi", "rossini", "puccini",
+	"dante", "petrarca", "leopardi", "carducci", "pascoli",
+	"galileo ferraris", "alessandro volta", "guglielmo marconi",
+	"leonardo da vinci", "michelangelo", "raffaello", "tiziano",
+	"san francesco", "santa teresa", "sant agostino", "san donato",
+	"della consolata", "delle rosine", "dei mille", "dei fiori",
+	"della rocca", "del carmine", "delle alpi", "del progresso",
+	"lagrange", "bogino", "principe amedeo", "maria vittoria",
+	"san quintino", "legnano", "magenta", "palestro", "solferino",
+	"pietro micca", "antonio gramsci", "giuseppe luigi passalacqua",
+	"filadelfia", "tripoli", "monginevro", "frejus", "pollenzo",
+	"barletta", "gorizia", "caprera", "osasco", "monferrato",
+	"superga", "moncalieri", "chieri", "pinerolo", "ivrea",
+	"saluzzo", "cuneo", "alba", "asti", "vercelli", "novara",
+	"biella", "aosta", "susa", "lanzo", "cirie", "venaria",
+	"stupinigi", "mirafiori", "lingotto", "vanchiglia", "aurora",
+	"barriera di milano", "borgo vittoria", "parella", "pozzo strada",
+	"santa rita", "cenisia", "cit turin", "crocetta", "san salvario",
+	"regio parco", "madonna del pilone", "sassi", "cavoretto",
+}
+
+// certifierIDs is the pool of anonymized certifier identifiers.
+var certifierIDs = []string{
+	"CERT-0001", "CERT-0002", "CERT-0003", "CERT-0004", "CERT-0005",
+	"CERT-0006", "CERT-0007", "CERT-0008", "CERT-0009", "CERT-0010",
+	"CERT-0011", "CERT-0012", "CERT-0013", "CERT-0014", "CERT-0015",
+}

@@ -1,0 +1,173 @@
+package table
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// AggKind selects a group aggregation function.
+type AggKind int
+
+const (
+	// AggCount counts valid values.
+	AggCount AggKind = iota
+	// AggMean averages valid values.
+	AggMean
+	// AggSum sums valid values.
+	AggSum
+	// AggMin takes the minimum valid value.
+	AggMin
+	// AggMax takes the maximum valid value.
+	AggMax
+)
+
+// String implements fmt.Stringer.
+func (a AggKind) String() string {
+	switch a {
+	case AggCount:
+		return "count"
+	case AggMean:
+		return "mean"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("AggKind(%d)", int(a))
+	}
+}
+
+// GroupResult is one group's aggregate.
+type GroupResult struct {
+	Key   string
+	Count int     // valid values aggregated
+	Value float64 // the aggregate (NaN for empty groups under mean/min/max)
+}
+
+// Aggregate groups the rows by the categorical column groupBy and
+// aggregates the numeric column value with the given function. Results
+// are sorted by key. Invalid group cells group under the empty string;
+// invalid value cells are skipped.
+func (t *Table) Aggregate(groupBy, value string, kind AggKind) ([]GroupResult, error) {
+	groups, err := t.GroupByString(groupBy)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := t.Floats(value)
+	if err != nil {
+		return nil, err
+	}
+	valid, _ := t.ValidMask(value)
+
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	out := make([]GroupResult, 0, len(keys))
+	for _, k := range keys {
+		res := GroupResult{Key: k}
+		agg := math.NaN()
+		var sum float64
+		for _, row := range groups[k] {
+			if !valid[row] {
+				continue
+			}
+			v := vals[row]
+			res.Count++
+			switch kind {
+			case AggMin:
+				if math.IsNaN(agg) || v < agg {
+					agg = v
+				}
+			case AggMax:
+				if math.IsNaN(agg) || v > agg {
+					agg = v
+				}
+			default:
+				sum += v
+			}
+		}
+		switch kind {
+		case AggCount:
+			res.Value = float64(res.Count)
+		case AggSum:
+			res.Value = sum
+		case AggMean:
+			if res.Count > 0 {
+				res.Value = sum / float64(res.Count)
+			} else {
+				res.Value = math.NaN()
+			}
+		case AggMin, AggMax:
+			res.Value = agg
+		default:
+			return nil, fmt.Errorf("table: unknown aggregation %v", kind)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Head renders the first n rows as an aligned text table for debugging
+// and REPL-style exploration.
+func (t *Table) Head(n int) string {
+	if n > t.rows {
+		n = t.rows
+	}
+	if n < 0 {
+		n = 0
+	}
+	var b strings.Builder
+	widths := make([]int, len(t.cols))
+	cells := make([][]string, n+1)
+	cells[0] = make([]string, len(t.cols))
+	for ci, c := range t.cols {
+		cells[0][ci] = c.Name
+		widths[ci] = len(c.Name)
+	}
+	for r := 0; r < n; r++ {
+		row := make([]string, len(t.cols))
+		for ci, c := range t.cols {
+			var s string
+			switch {
+			case !c.Valid[r]:
+				s = "∅"
+			case c.Typ == Float64:
+				s = fmt.Sprintf("%g", c.Floats[r])
+			default:
+				s = c.Strs[r]
+			}
+			if len(s) > 24 {
+				s = s[:21] + "..."
+			}
+			row[ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+		cells[r+1] = row
+	}
+	for ri, row := range cells {
+		for ci, s := range row {
+			fmt.Fprintf(&b, "%-*s ", widths[ci], s)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for _, w := range widths {
+				b.WriteString(strings.Repeat("-", w))
+				b.WriteByte(' ')
+			}
+			b.WriteByte('\n')
+		}
+	}
+	if t.rows > n {
+		fmt.Fprintf(&b, "... %d more rows\n", t.rows-n)
+	}
+	return b.String()
+}

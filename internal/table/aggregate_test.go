@@ -1,0 +1,123 @@
+package table
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func aggSample(t *testing.T) *Table {
+	t.Helper()
+	tab := New()
+	if err := tab.AddStrings("district", []string{"D1", "D1", "D2", "D2", "D2", "D3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddFloats("eph", []float64{100, 120, 200, 220, math.NaN(), 90}); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestAggregateMean(t *testing.T) {
+	tab := aggSample(t)
+	got, err := tab.Aggregate("district", "eph", AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("groups = %v", got)
+	}
+	if got[0].Key != "D1" || got[0].Count != 2 || got[0].Value != 110 {
+		t.Fatalf("D1 = %+v", got[0])
+	}
+	if got[1].Key != "D2" || got[1].Count != 2 || got[1].Value != 210 {
+		t.Fatalf("D2 = %+v (NaN must be skipped)", got[1])
+	}
+	if got[2].Key != "D3" || got[2].Value != 90 {
+		t.Fatalf("D3 = %+v", got[2])
+	}
+}
+
+func TestAggregateKinds(t *testing.T) {
+	tab := aggSample(t)
+	cases := map[AggKind]map[string]float64{
+		AggCount: {"D1": 2, "D2": 2, "D3": 1},
+		AggSum:   {"D1": 220, "D2": 420, "D3": 90},
+		AggMin:   {"D1": 100, "D2": 200, "D3": 90},
+		AggMax:   {"D1": 120, "D2": 220, "D3": 90},
+	}
+	for kind, want := range cases {
+		got, err := tab.Aggregate("district", "eph", kind)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		for _, g := range got {
+			if g.Value != want[g.Key] {
+				t.Errorf("%v[%s] = %v, want %v", kind, g.Key, g.Value, want[g.Key])
+			}
+		}
+	}
+}
+
+func TestAggregateEmptyGroup(t *testing.T) {
+	tab := New()
+	if err := tab.AddStrings("g", []string{"a", "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddFloats("v", []float64{math.NaN(), math.NaN()}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tab.Aggregate("g", "v", AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Count != 0 || !math.IsNaN(got[0].Value) {
+		t.Fatalf("empty group = %+v", got[0])
+	}
+	// Count of an all-invalid group is 0, not NaN.
+	got, _ = tab.Aggregate("g", "v", AggCount)
+	if got[0].Value != 0 {
+		t.Fatalf("count = %+v", got[0])
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	tab := aggSample(t)
+	if _, err := tab.Aggregate("ghost", "eph", AggMean); err == nil {
+		t.Fatal("want error for missing group column")
+	}
+	if _, err := tab.Aggregate("district", "ghost", AggMean); err == nil {
+		t.Fatal("want error for missing value column")
+	}
+	if _, err := tab.Aggregate("district", "eph", AggKind(99)); err == nil {
+		t.Fatal("want error for unknown aggregation")
+	}
+	if got := AggKind(99).String(); got != "AggKind(99)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestHead(t *testing.T) {
+	tab := aggSample(t)
+	out := tab.Head(2)
+	if !strings.Contains(out, "district") || !strings.Contains(out, "eph") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "D1") || !strings.Contains(out, "100") {
+		t.Fatalf("rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "4 more rows") {
+		t.Fatalf("footer missing:\n%s", out)
+	}
+	// Invalid cells render as the null glyph.
+	full := tab.Head(10)
+	if !strings.Contains(full, "∅") {
+		t.Fatalf("null marker missing:\n%s", full)
+	}
+	if strings.Contains(full, "more rows") {
+		t.Fatalf("footer should vanish when all rows shown:\n%s", full)
+	}
+	if out := tab.Head(-1); !strings.Contains(out, "6 more rows") {
+		t.Fatalf("negative n:\n%s", out)
+	}
+}

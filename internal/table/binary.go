@@ -1,0 +1,210 @@
+package table
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary columnar format, the fast on-disk representation for large EPC
+// collections (the typed CSV stays the interchange format):
+//
+//	magic "INDT" | u16 version | u32 rows | u32 cols
+//	per column: u16 nameLen | name | u8 type
+//	            validity bitmap (ceil(rows/8) bytes)
+//	            float64 column: rows × u64 (IEEE 754 bits, little endian)
+//	            string column:  rows × u32 length-prefixed byte strings
+//
+// All integers are little endian.
+
+const (
+	binaryMagic   = "INDT"
+	binaryVersion = 1
+)
+
+// WriteBinary serializes the table in the binary columnar format.
+func (t *Table) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return fmt.Errorf("table: writing binary header: %w", err)
+	}
+	if err := writeU16(bw, binaryVersion); err != nil {
+		return err
+	}
+	if err := writeU32(bw, uint32(t.rows)); err != nil {
+		return err
+	}
+	if err := writeU32(bw, uint32(len(t.cols))); err != nil {
+		return err
+	}
+	for _, c := range t.cols {
+		if len(c.Name) > math.MaxUint16 {
+			return fmt.Errorf("table: column name %q too long", c.Name[:32])
+		}
+		if err := writeU16(bw, uint16(len(c.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(c.Name); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(c.Typ)); err != nil {
+			return err
+		}
+		// Validity bitmap.
+		bitmap := make([]byte, (t.rows+7)/8)
+		for i, ok := range c.Valid {
+			if ok {
+				bitmap[i/8] |= 1 << (i % 8)
+			}
+		}
+		if _, err := bw.Write(bitmap); err != nil {
+			return err
+		}
+		if c.Typ == Float64 {
+			var buf [8]byte
+			for _, v := range c.Floats {
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+				if _, err := bw.Write(buf[:]); err != nil {
+					return err
+				}
+			}
+		} else {
+			for _, s := range c.Strs {
+				if err := writeU32(bw, uint32(len(s))); err != nil {
+					return err
+				}
+				if _, err := bw.WriteString(s); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a table from the binary columnar format.
+func ReadBinary(r io.Reader) (*Table, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("table: reading binary magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("table: bad magic %q", magic)
+	}
+	version, err := readU16(br)
+	if err != nil {
+		return nil, err
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("table: unsupported binary version %d", version)
+	}
+	rows, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	cols, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	// Sanity bound: a column header needs ≥ 3 bytes.
+	if cols > 1<<20 {
+		return nil, fmt.Errorf("table: implausible column count %d", cols)
+	}
+
+	t := New()
+	for ci := uint32(0); ci < cols; ci++ {
+		nameLen, err := readU16(br)
+		if err != nil {
+			return nil, err
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return nil, fmt.Errorf("table: reading column name: %w", err)
+		}
+		typByte, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("table: reading column type: %w", err)
+		}
+		typ := Type(typByte)
+		if typ != Float64 && typ != String {
+			return nil, fmt.Errorf("table: unknown column type %d", typByte)
+		}
+		bitmap := make([]byte, (rows+7)/8)
+		if _, err := io.ReadFull(br, bitmap); err != nil {
+			return nil, fmt.Errorf("table: reading validity bitmap: %w", err)
+		}
+		valid := make([]bool, rows)
+		for i := range valid {
+			valid[i] = bitmap[i/8]&(1<<(i%8)) != 0
+		}
+		if typ == Float64 {
+			vals := make([]float64, rows)
+			var buf [8]byte
+			for i := range vals {
+				if _, err := io.ReadFull(br, buf[:]); err != nil {
+					return nil, fmt.Errorf("table: reading float column: %w", err)
+				}
+				vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+			}
+			if err := t.AddFloatsValid(string(nameBuf), vals, valid); err != nil {
+				return nil, err
+			}
+		} else {
+			vals := make([]string, rows)
+			for i := range vals {
+				l, err := readU32(br)
+				if err != nil {
+					return nil, err
+				}
+				if l > 1<<24 {
+					return nil, fmt.Errorf("table: implausible string length %d", l)
+				}
+				sb := make([]byte, l)
+				if _, err := io.ReadFull(br, sb); err != nil {
+					return nil, fmt.Errorf("table: reading string column: %w", err)
+				}
+				vals[i] = string(sb)
+			}
+			if err := t.AddStringsValid(string(nameBuf), vals, valid); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if t.NumCols() == 0 {
+		t.rows = int(rows)
+	}
+	return t, nil
+}
+
+func writeU16(w io.Writer, v uint16) error {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU16(r io.Reader) (uint16, error) {
+	var b [2]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("table: reading u16: %w", err)
+	}
+	return binary.LittleEndian.Uint16(b[:]), nil
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("table: reading u32: %w", err)
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}

@@ -1,0 +1,131 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// The CSV codec persists tables with a typed header: each header cell is
+// "name:type" where type is "f" (float64) or "s" (string). Missing cells
+// are encoded as the empty string for both types; a string column therefore
+// cannot round-trip a valid empty string distinct from a missing value,
+// which matches how the open-data EPC dumps encode absent fields.
+
+// WriteCSV writes the table to w in the typed CSV format.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		tag := "s"
+		if c.Typ == Float64 {
+			tag = "f"
+		}
+		header[i] = c.Name + ":" + tag
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("table: writing CSV header: %w", err)
+	}
+	rec := make([]string, len(t.cols))
+	for r := 0; r < t.rows; r++ {
+		for i, c := range t.cols {
+			switch {
+			case !c.Valid[r]:
+				rec[i] = ""
+			case c.Typ == Float64:
+				rec[i] = strconv.FormatFloat(c.Floats[r], 'g', -1, 64)
+			default:
+				rec[i] = c.Strs[r]
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("table: writing CSV row %d: %w", r, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table from the typed CSV format produced by WriteCSV.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading CSV header: %w", err)
+	}
+	type colDef struct {
+		name string
+		typ  Type
+	}
+	defs := make([]colDef, len(header))
+	for i, h := range header {
+		idx := strings.LastIndexByte(h, ':')
+		if idx < 0 {
+			return nil, fmt.Errorf("table: header cell %q lacks :type suffix", h)
+		}
+		name, tag := h[:idx], h[idx+1:]
+		switch tag {
+		case "f":
+			defs[i] = colDef{name, Float64}
+		case "s":
+			defs[i] = colDef{name, String}
+		default:
+			return nil, fmt.Errorf("table: header cell %q has unknown type %q", h, tag)
+		}
+	}
+
+	floats := make([][]float64, len(defs))
+	strs := make([][]string, len(defs))
+	valids := make([][]bool, len(defs))
+	rows := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: reading CSV row %d: %w", rows, err)
+		}
+		if len(rec) != len(defs) {
+			return nil, fmt.Errorf("table: row %d has %d cells, want %d", rows, len(rec), len(defs))
+		}
+		for i, cell := range rec {
+			if defs[i].typ == Float64 {
+				if cell == "" {
+					floats[i] = append(floats[i], math.NaN())
+					valids[i] = append(valids[i], false)
+					continue
+				}
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("table: row %d column %q: %w", rows, defs[i].name, err)
+				}
+				floats[i] = append(floats[i], v)
+				valids[i] = append(valids[i], !math.IsNaN(v))
+			} else {
+				strs[i] = append(strs[i], cell)
+				valids[i] = append(valids[i], cell != "")
+			}
+		}
+		rows++
+	}
+
+	t := New()
+	for i, d := range defs {
+		var err error
+		if d.typ == Float64 {
+			err = t.AddFloatsValid(d.name, floats[i], valids[i])
+		} else {
+			err = t.AddStringsValid(d.name, strs[i], valids[i])
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	// A header-only file yields a table with columns but zero rows.
+	return t, nil
+}

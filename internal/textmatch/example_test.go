@@ -1,0 +1,32 @@
+package textmatch_test
+
+import (
+	"fmt"
+
+	"indice/internal/textmatch"
+)
+
+func ExampleSimilarity() {
+	// One substitution over eight runes, as in §2.1.1's threshold check.
+	fmt.Printf("%.3f\n", textmatch.Similarity("via roma", "via rona"))
+	fmt.Printf("%.3f\n", textmatch.Similarity("via roma", "via roma"))
+	// Output:
+	// 0.875
+	// 1.000
+}
+
+func ExampleNormalizeAddress() {
+	fmt.Println(textmatch.NormalizeAddress("C.so Vittorio Emanuele II, 112"))
+	fmt.Println(textmatch.NormalizeAddress("P.za   Castello"))
+	// Output:
+	// corso vittorio emanuele ii 112
+	// piazza castello
+}
+
+func ExampleIndex_Best() {
+	idx := textmatch.NewIndex(3, []string{"via roma", "piazza castello", "corso duca degli abruzzi"})
+	m, _ := idx.Best("piaza castelo", 16)
+	fmt.Println(m.Entry)
+	// Output:
+	// piazza castello
+}

@@ -1,0 +1,150 @@
+package textmatch
+
+import (
+	"sort"
+)
+
+// Index is an n-gram blocking index over a set of reference strings. It
+// retrieves, for a query string, the reference entries sharing at least one
+// n-gram, ranked by shared-gram count, so the expensive Levenshtein
+// comparison runs on a short candidate list instead of the whole street
+// map. This is the ablation counterpart to the exhaustive scan benchmarked
+// in E2.
+type Index struct {
+	n       int
+	entries []string
+	grams   map[string][]int32 // n-gram -> sorted entry ids
+}
+
+// NewIndex builds an n-gram index (n ≥ 2) over the given entries. Entries
+// are stored as provided; callers normalize beforehand.
+func NewIndex(n int, entries []string) *Index {
+	if n < 2 {
+		n = 2
+	}
+	idx := &Index{
+		n:       n,
+		entries: append([]string(nil), entries...),
+		grams:   make(map[string][]int32),
+	}
+	for i, e := range idx.entries {
+		seen := make(map[string]struct{})
+		for _, g := range ngrams(e, n) {
+			if _, dup := seen[g]; dup {
+				continue
+			}
+			seen[g] = struct{}{}
+			idx.grams[g] = append(idx.grams[g], int32(i))
+		}
+	}
+	return idx
+}
+
+// Len returns the number of indexed entries.
+func (idx *Index) Len() int { return len(idx.entries) }
+
+// Entry returns the i-th indexed string.
+func (idx *Index) Entry(i int) string { return idx.entries[i] }
+
+// ngrams returns the padded character n-grams of s. Padding with '\x00'
+// sentinels makes prefixes and suffixes discriminative.
+func ngrams(s string, n int) []string {
+	rs := []rune(s)
+	if len(rs) == 0 {
+		return nil
+	}
+	padded := make([]rune, 0, len(rs)+2*(n-1))
+	for i := 0; i < n-1; i++ {
+		padded = append(padded, '\x00')
+	}
+	padded = append(padded, rs...)
+	for i := 0; i < n-1; i++ {
+		padded = append(padded, '\x00')
+	}
+	out := make([]string, 0, len(padded)-n+1)
+	for i := 0; i+n <= len(padded); i++ {
+		out = append(out, string(padded[i:i+n]))
+	}
+	return out
+}
+
+// Candidate is one blocking-index hit.
+type Candidate struct {
+	ID     int    // index into the entry list
+	Entry  string // the reference string
+	Shared int    // number of shared n-grams with the query
+}
+
+// Candidates returns up to limit entries sharing the most n-grams with
+// query, sorted by descending shared count (ties by ascending ID for
+// determinism). A non-positive limit means no truncation.
+func (idx *Index) Candidates(query string, limit int) []Candidate {
+	counts := make(map[int32]int)
+	seen := make(map[string]struct{})
+	for _, g := range ngrams(query, idx.n) {
+		if _, dup := seen[g]; dup {
+			continue
+		}
+		seen[g] = struct{}{}
+		for _, id := range idx.grams[g] {
+			counts[id]++
+		}
+	}
+	out := make([]Candidate, 0, len(counts))
+	for id, c := range counts {
+		out = append(out, Candidate{ID: int(id), Entry: idx.entries[id], Shared: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Shared != out[j].Shared {
+			return out[i].Shared > out[j].Shared
+		}
+		return out[i].ID < out[j].ID
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Match is the result of a best-match search.
+type Match struct {
+	ID         int
+	Entry      string
+	Similarity float64
+}
+
+// Best returns the indexed entry with the highest Levenshtein similarity
+// to query, searching only the top beamWidth blocking candidates. The
+// boolean is false when the index is empty or no candidate shares any
+// n-gram with the query. Ties prefer the lower entry ID.
+func (idx *Index) Best(query string, beamWidth int) (Match, bool) {
+	cands := idx.Candidates(query, beamWidth)
+	if len(cands) == 0 {
+		return Match{}, false
+	}
+	best := Match{ID: -1, Similarity: -1}
+	for _, c := range cands {
+		s := Similarity(query, c.Entry)
+		if s > best.Similarity || (s == best.Similarity && c.ID < best.ID) {
+			best = Match{ID: c.ID, Entry: c.Entry, Similarity: s}
+		}
+	}
+	return best, true
+}
+
+// BestExhaustive scans every indexed entry and returns the one with the
+// highest Levenshtein similarity to query. It is the reference
+// implementation the blocking index is validated and benchmarked against.
+func (idx *Index) BestExhaustive(query string) (Match, bool) {
+	if len(idx.entries) == 0 {
+		return Match{}, false
+	}
+	best := Match{ID: -1, Similarity: -1}
+	for i, e := range idx.entries {
+		s := Similarity(query, e)
+		if s > best.Similarity {
+			best = Match{ID: i, Entry: e, Similarity: s}
+		}
+	}
+	return best, true
+}

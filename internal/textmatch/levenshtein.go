@@ -1,0 +1,227 @@
+// Package textmatch implements the string-reconciliation substrate of the
+// INDICE geospatial cleaning step: Levenshtein edit distance, the
+// normalized similarity in [0,1] the paper thresholds with ϕ, address
+// normalization for Italian street toponyms, and an n-gram blocking index
+// that retrieves candidate referenced addresses without scanning the whole
+// street map.
+package textmatch
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Distance returns the Levenshtein edit distance between a and b: the
+// minimum number of single-rune insertions, deletions and substitutions
+// needed to transform a into b.
+func Distance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	// Keep the shorter string on the column axis to minimize the buffer.
+	if la < lb {
+		ra, rb = rb, ra
+		la, lb = lb, la
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		ai := ra[i-1]
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ai == rb[j-1] {
+				cost = 0
+			}
+			del := prev[j] + 1
+			ins := cur[j-1] + 1
+			sub := prev[j-1] + cost
+			m := del
+			if ins < m {
+				m = ins
+			}
+			if sub < m {
+				m = sub
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb]
+}
+
+// DistanceBounded returns the Levenshtein distance between a and b if it
+// does not exceed max; otherwise it returns max+1. The early-exit lets the
+// blocking index reject distant candidates cheaply.
+func DistanceBounded(a, b string, max int) int {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la-lb > max || lb-la > max {
+		return max + 1
+	}
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	if la < lb {
+		ra, rb = rb, ra
+		la, lb = lb, la
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		ai := ra[i-1]
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ai == rb[j-1] {
+				cost = 0
+			}
+			del := prev[j] + 1
+			ins := cur[j-1] + 1
+			sub := prev[j-1] + cost
+			m := del
+			if ins < m {
+				m = ins
+			}
+			if sub < m {
+				m = sub
+			}
+			cur[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if rowMin > max {
+			return max + 1
+		}
+		prev, cur = cur, prev
+	}
+	if prev[lb] > max {
+		return max + 1
+	}
+	return prev[lb]
+}
+
+// Similarity returns the normalized Levenshtein similarity between a and b,
+// in [0,1]: 1 - distance/max(len(a), len(b)). Identical strings score 1,
+// totally dissimilar strings score 0, exactly as §2.1.1 of the paper
+// defines the measure compared against the user threshold ϕ. Two empty
+// strings are defined to have similarity 1.
+func Similarity(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	max := la
+	if lb > max {
+		max = lb
+	}
+	if max == 0 {
+		return 1
+	}
+	return 1 - float64(Distance(a, b))/float64(max)
+}
+
+// abbreviations maps common Italian odonym abbreviations to their expanded
+// forms; NormalizeAddress applies them token-wise after casefolding.
+var abbreviations = map[string]string{
+	"c.so":  "corso",
+	"cso":   "corso",
+	"v.":    "via",
+	"v.le":  "viale",
+	"vle":   "viale",
+	"p.za":  "piazza",
+	"p.zza": "piazza",
+	"pza":   "piazza",
+	"pzza":  "piazza",
+	"l.go":  "largo",
+	"lgo":   "largo",
+	"str.":  "strada",
+	"s.":    "san",
+	"ss.":   "santi",
+	"f.lli": "fratelli",
+}
+
+// NormalizeAddress canonicalizes a free-text address for matching:
+// casefold, strip accents commonly found in Italian toponyms, expand
+// odonym abbreviations, collapse punctuation and whitespace runs.
+func NormalizeAddress(s string) string {
+	s = strings.ToLower(s)
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		switch r {
+		case 'à', 'á', 'â':
+			b.WriteRune('a')
+		case 'è', 'é', 'ê':
+			b.WriteRune('e')
+		case 'ì', 'í', 'î':
+			b.WriteRune('i')
+		case 'ò', 'ó', 'ô':
+			b.WriteRune('o')
+		case 'ù', 'ú', 'û':
+			b.WriteRune('u')
+		case ',', ';', '/', '\\', '-', '_', '\'', '"':
+			b.WriteRune(' ')
+		default:
+			b.WriteRune(r)
+		}
+	}
+	tokens := strings.Fields(b.String())
+	out := make([]string, 0, len(tokens))
+	for _, tok := range tokens {
+		if exp, ok := abbreviations[tok]; ok {
+			tok = exp
+		} else {
+			// "via." -> "via": trailing dot after a word is noise.
+			tok = strings.TrimRight(tok, ".")
+			if exp, ok := abbreviations[tok]; ok {
+				tok = exp
+			}
+		}
+		if tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return strings.Join(out, " ")
+}
+
+// SplitHouseNumber separates a normalized address into its street part and
+// a trailing house-number token ("via roma 12/b" -> "via roma", "12b").
+// When no trailing number exists the house number is empty.
+func SplitHouseNumber(addr string) (street, houseNumber string) {
+	tokens := strings.Fields(addr)
+	if len(tokens) == 0 {
+		return "", ""
+	}
+	last := tokens[len(tokens)-1]
+	hasDigit := false
+	for _, r := range last {
+		if unicode.IsDigit(r) {
+			hasDigit = true
+			break
+		}
+	}
+	if !hasDigit || len(tokens) == 1 {
+		return addr, ""
+	}
+	var hn strings.Builder
+	for _, r := range last {
+		if unicode.IsDigit(r) || unicode.IsLetter(r) {
+			hn.WriteRune(r)
+		}
+	}
+	return strings.Join(tokens[:len(tokens)-1], " "), hn.String()
+}
