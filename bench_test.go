@@ -7,9 +7,11 @@ package indice
 //	go test -bench=. -benchmem .
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
+	"indice/internal/assoc"
 	"indice/internal/cluster"
 	"indice/internal/core"
 	"indice/internal/dashboard"
@@ -156,6 +158,40 @@ func BenchmarkE3AblationFixedEps(b *testing.B) {
 	})
 }
 
+// BenchmarkE3OutliersParallel is the parallel variant of E3: the same
+// univariate and multivariate screens at Parallelism 1 versus one worker
+// per CPU. Flagged rows are identical; only the wall clock may differ.
+func BenchmarkE3OutliersParallel(b *testing.B) {
+	w := benchWorld(b)
+	uni := func(parallelism int) func(b *testing.B) {
+		return func(b *testing.B) {
+			cfg := outlier.DefaultConfig(outlier.MethodMAD)
+			cfg.Parallelism = parallelism
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := outlier.DetectColumns(w.Dirty, epc.CaseStudyAttributes, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	multi := func(parallelism int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := outlier.DetectMultivariate(w.Dirty, epc.CaseStudyAttributes,
+					outlier.MultivariateConfig{SampleSize: 300, Parallelism: parallelism}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("mad-sequential", uni(1))
+	b.Run("mad-parallel", uni(runtime.GOMAXPROCS(0)))
+	b.Run("dbscan-sequential", multi(1))
+	b.Run("dbscan-parallel", multi(runtime.GOMAXPROCS(0)))
+}
+
 // BenchmarkE4CorrelationMatrix regenerates the Figure 3 matrix.
 func BenchmarkE4CorrelationMatrix(b *testing.B) {
 	r := benchRunner(b)
@@ -179,6 +215,36 @@ func BenchmarkE5KMeansElbow(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkE5KMeansElbowParallel isolates the Figure 4 elbow sweep — the
+// analytics hot path — and compares Parallelism 1 against one worker per
+// CPU. The sweep fans the (K, restart) K-means jobs across the pool; the
+// curve is bitwise-identical, so the ratio of these two numbers is the
+// engine's parallel speedup (≈1.0 on a single-CPU host).
+func BenchmarkE5KMeansElbowParallel(b *testing.B) {
+	w := benchWorld(b)
+	mat, _, err := w.Clean.Matrix(epc.CaseStudyAttributes...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sweep := func(parallelism int) func(b *testing.B) {
+		return func(b *testing.B) {
+			cfg := cluster.KMeansConfig{Seed: 1, Parallelism: parallelism}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				curve, err := cluster.SSECurve(mat, 2, 8, 3, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := cluster.ElbowK(curve); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("sequential", sweep(1))
+	b.Run("parallel", sweep(runtime.GOMAXPROCS(0)))
 }
 
 // BenchmarkE5AblationInit is the DESIGN.md ablation: the paper's uniform
@@ -213,6 +279,51 @@ func BenchmarkE6AssociationRules(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkE6AssociationRulesParallel isolates the Apriori support
+// counting of the rule panel and compares Parallelism 1 against one
+// worker per CPU on the same discretized transactions. Counts are
+// integers, so the mined rules are identical.
+func BenchmarkE6AssociationRulesParallel(b *testing.B) {
+	w := benchWorld(b)
+	eng, err := core.NewEngine(w.Clean.Clone(), w.City.Hierarchy, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	acfg := core.DefaultAnalysisConfig()
+	acfg.KMax = 8
+	an, err := eng.Analyze(acfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	txs, err := eng.RuleTransactions(acfg, an)
+	if err != nil {
+		b.Fatal(err)
+	}
+	miner, err := assoc.NewMiner(txs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mine := func(parallelism int) func(b *testing.B) {
+		return func(b *testing.B) {
+			cfg := assoc.MiningConfig{MinSupport: 0.05, MaxLen: 3, Parallelism: parallelism}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				frequent, err := miner.FrequentItemsets(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := miner.Rules(frequent, assoc.RuleConfig{
+					MinConfidence: 0.6, MinLift: 1.1, MaxConsequentLen: 1,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("sequential", mine(1))
+	b.Run("parallel", mine(runtime.GOMAXPROCS(0)))
 }
 
 // BenchmarkE7Maps regenerates the Figure 2 drill-down, one sub-bench per

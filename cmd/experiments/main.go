@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"indice/internal/experiments"
+	"indice/internal/parallel"
 )
 
 func main() {
@@ -18,6 +19,7 @@ func main() {
 		out   = flag.String("out", "figures", "output directory for figures and dashboards ('' disables)")
 		certs = flag.Int("n", 25000, "number of synthetic certificates (paper scale: 25000)")
 		seed  = flag.Int64("seed", 1, "generation seed")
+		par   = flag.Int("parallelism", 0, "analytics worker goroutines (0 = all CPUs, 1 = sequential); reports are identical at any setting")
 	)
 	flag.Parse()
 
@@ -36,7 +38,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	runner := &experiments.Runner{World: world, OutDir: *out}
+	workers := *par
+	if workers == 0 {
+		workers = parallel.Auto
+	}
+	runner := &experiments.Runner{World: world, OutDir: *out, Parallelism: workers}
 
 	var results []*experiments.Result
 	if strings.EqualFold(*exp, "all") {

@@ -18,6 +18,7 @@ import (
 	"indice/internal/epc"
 	"indice/internal/geo"
 	"indice/internal/geocode"
+	"indice/internal/parallel"
 	"indice/internal/query"
 	"indice/internal/server"
 	"indice/internal/synth"
@@ -31,8 +32,13 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		use      = flag.String("use", epc.UseResidential, "intended-use selection ('' disables)")
 		kMax     = flag.Int("kmax", 10, "upper bound of the K-means sweep")
+		par      = flag.Int("parallelism", 0, "analytics worker goroutines (0 = all CPUs, 1 = sequential); results are identical at any setting")
 	)
 	flag.Parse()
+	workers := *par
+	if workers == 0 {
+		workers = parallel.Auto
+	}
 
 	var (
 		tab  *table.Table
@@ -98,11 +104,14 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if _, err := eng.Preprocess(core.DefaultPreprocessConfig()); err != nil {
+	pcfg := core.DefaultPreprocessConfig()
+	pcfg.Parallelism = workers
+	if _, err := eng.Preprocess(pcfg); err != nil {
 		log.Fatal(err)
 	}
 	acfg := core.DefaultAnalysisConfig()
 	acfg.KMax = *kMax
+	acfg.Parallelism = workers
 	an, err := eng.Analyze(acfg)
 	if err != nil {
 		log.Fatal(err)

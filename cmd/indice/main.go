@@ -21,6 +21,7 @@ import (
 	"indice/internal/epc"
 	"indice/internal/geo"
 	"indice/internal/geocode"
+	"indice/internal/parallel"
 	"indice/internal/query"
 	"indice/internal/table"
 )
@@ -37,10 +38,15 @@ func main() {
 		kMax        = flag.Int("kmax", 10, "upper bound of the K-means sweep")
 		skipAnalyze = flag.Bool("skip-analysis", false, "skip the analytics tier (maps only)")
 		reportPath  = flag.String("report", "", "optional markdown run-report output path")
+		parallelism = flag.Int("parallelism", 0, "analytics worker goroutines (0 = all CPUs, 1 = sequential); results are identical at any setting")
 	)
 	flag.Parse()
 	if *epcsPath == "" {
 		fatal(fmt.Errorf("-epcs is required"))
+	}
+	workers := *parallelism
+	if workers == 0 {
+		workers = parallel.Auto
 	}
 
 	tab, err := loadTable(*epcsPath)
@@ -78,6 +84,7 @@ func main() {
 
 	pcfg := core.DefaultPreprocessConfig()
 	pcfg.Clean.Phi = *phi
+	pcfg.Parallelism = workers
 	rep, err := eng.Preprocess(pcfg)
 	if err != nil {
 		fatal(err)
@@ -95,6 +102,7 @@ func main() {
 	if !*skipAnalyze {
 		acfg := core.DefaultAnalysisConfig()
 		acfg.KMax = *kMax
+		acfg.Parallelism = workers
 		an, err = eng.Analyze(acfg)
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,3 @@
+module indice
+
+go 1.22

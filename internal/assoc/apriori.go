@@ -10,6 +10,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"indice/internal/parallel"
 )
 
 // Item is one attribute=value pair of a transactional row.
@@ -85,6 +87,11 @@ type MiningConfig struct {
 	// correctness-equivalent exhaustive variant exists for the ablation
 	// bench only.
 	DisablePruning bool
+	// Parallelism bounds the worker goroutines of the support-counting
+	// passes, which partition the transactions into chunks and merge the
+	// per-chunk integer counts. 0 or 1 run sequentially; counts are exact,
+	// so the mined itemsets are identical at any setting.
+	Parallelism int
 }
 
 // Miner holds a transactional dataset ready for mining.
@@ -124,16 +131,35 @@ func (m *Miner) FrequentItemsets(cfg MiningConfig) ([]FrequentItemset, error) {
 		minCount = 1
 	}
 
-	// L1: frequent single items.
-	counts := make(map[string]int)
-	itemByKey := make(map[string]Item)
-	for _, tx := range m.txs {
-		for _, it := range tx {
-			k := it.String()
-			counts[k]++
-			itemByKey[k] = it
-		}
+	// L1: frequent single items, counted over transaction chunks.
+	type l1Part struct {
+		counts    map[string]int
+		itemByKey map[string]Item
 	}
+	l1 := parallel.ChunkReduce(len(m.txs), cfg.Parallelism,
+		l1Part{counts: make(map[string]int), itemByKey: make(map[string]Item)},
+		func(start, end int) l1Part {
+			p := l1Part{counts: make(map[string]int), itemByKey: make(map[string]Item)}
+			for _, tx := range m.txs[start:end] {
+				for _, it := range tx {
+					k := it.String()
+					p.counts[k]++
+					p.itemByKey[k] = it
+				}
+			}
+			return p
+		},
+		func(acc, part l1Part) l1Part {
+			if len(acc.counts) == 0 {
+				return part
+			}
+			for k, c := range part.counts {
+				acc.counts[k] += c
+				acc.itemByKey[k] = part.itemByKey[k]
+			}
+			return acc
+		})
+	counts, itemByKey := l1.counts, l1.itemByKey
 	var level []Itemset
 	levelCounts := make(map[string]int)
 	for k, c := range counts {
@@ -168,27 +194,44 @@ func (m *Miner) FrequentItemsets(cfg MiningConfig) ([]FrequentItemset, error) {
 		if len(candidates) == 0 {
 			break
 		}
-		newCounts := make(map[string]int, len(candidates))
 		keys := make([]string, len(candidates))
 		for i, c := range candidates {
 			keys[i] = c.key()
 		}
-		for _, tx := range m.txs {
-			if len(tx) < length {
-				continue
-			}
-			for i, c := range candidates {
-				if containsAll(tx, c) {
-					newCounts[keys[i]]++
+		// Support counting is the Apriori hot loop: transactions partition
+		// into chunks, each chunk counts into its own candidate-indexed
+		// slice, and the integer merges are exact regardless of chunking.
+		candCounts := parallel.ChunkReduce(len(m.txs), cfg.Parallelism,
+			make([]int, len(candidates)),
+			func(start, end int) []int {
+				part := make([]int, len(candidates))
+				for _, tx := range m.txs[start:end] {
+					if len(tx) < length {
+						continue
+					}
+					for i, c := range candidates {
+						if containsAll(tx, c) {
+							part[i]++
+						}
+					}
 				}
-			}
-		}
+				return part
+			},
+			func(acc, part []int) []int {
+				if len(acc) == 0 {
+					return part
+				}
+				for i, c := range part {
+					acc[i] += c
+				}
+				return acc
+			})
 		var next []Itemset
 		nextCounts := make(map[string]int)
 		for i, c := range candidates {
-			if newCounts[keys[i]] >= minCount {
+			if candCounts[i] >= minCount {
 				next = append(next, c)
-				nextCounts[keys[i]] = newCounts[keys[i]]
+				nextCounts[keys[i]] = candCounts[i]
 			}
 		}
 		sortItemsets(next)

@@ -1,0 +1,126 @@
+package assoc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// synthTxs builds a deterministic transactional dataset with planted
+// co-occurrence structure so several itemset levels survive the support
+// threshold.
+func synthTxs(n int, seed int64) []Transaction {
+	rng := rand.New(rand.NewSource(seed))
+	txs := make([]Transaction, n)
+	for i := range txs {
+		cls := rng.Intn(3)
+		txs[i] = Transaction{
+			{Attr: "u_windows", Value: fmt.Sprintf("c%d", cls)},
+			{Attr: "u_opaque", Value: fmt.Sprintf("c%d", (cls+rng.Intn(2))%3)},
+			{Attr: "etah", Value: fmt.Sprintf("c%d", rng.Intn(3))},
+			{Attr: "eph", Value: fmt.Sprintf("c%d", cls)},
+		}
+		if rng.Intn(4) == 0 {
+			txs[i] = append(txs[i], Item{Attr: "era", Value: fmt.Sprintf("e%d", rng.Intn(2))})
+		}
+	}
+	return txs
+}
+
+// TestFrequentItemsetsParallelEquivalence verifies that partitioned
+// support counting returns exactly the sequential itemsets: counts are
+// integers, so the merge is exact at every worker count.
+func TestFrequentItemsetsParallelEquivalence(t *testing.T) {
+	m, err := NewMiner(synthTxs(2000, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := MiningConfig{MinSupport: 0.02, MaxLen: 3}
+	want, err := m.FrequentItemsets(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture mined no itemsets")
+	}
+	for _, p := range []int{2, 3, 8, 64} {
+		cfg := base
+		cfg.Parallelism = p
+		got, err := m.FrequentItemsets(cfg)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("parallelism %d: %d itemsets, want %d", p, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Items.key() != want[i].Items.key() || got[i].Count != want[i].Count {
+				t.Fatalf("parallelism %d: itemset %d = %v (%d), want %v (%d)",
+					p, i, got[i].Items, got[i].Count, want[i].Items, want[i].Count)
+			}
+		}
+	}
+}
+
+// TestParallelAprioriMatchesFPGrowth cross-checks the parallel Apriori
+// against the independent FP-Growth implementation.
+func TestParallelAprioriMatchesFPGrowth(t *testing.T) {
+	m, err := NewMiner(synthTxs(1200, 29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	apriori, err := m.FrequentItemsets(MiningConfig{MinSupport: 0.03, MaxLen: 3, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := m.FrequentItemsetsFP(MiningConfig{MinSupport: 0.03, MaxLen: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apriori) != len(fp) {
+		t.Fatalf("apriori mined %d itemsets, fp-growth %d", len(apriori), len(fp))
+	}
+	for i := range apriori {
+		if apriori[i].Items.key() != fp[i].Items.key() || apriori[i].Count != fp[i].Count {
+			t.Fatalf("itemset %d: apriori %v (%d) != fp %v (%d)",
+				i, apriori[i].Items, apriori[i].Count, fp[i].Items, fp[i].Count)
+		}
+	}
+}
+
+// TestRulesFromParallelMiningEquivalence runs the full mine-then-rules
+// pipeline at both ends of the parallelism range.
+func TestRulesFromParallelMiningEquivalence(t *testing.T) {
+	m, err := NewMiner(synthTxs(1500, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := RuleConfig{MinConfidence: 0.5, MinLift: 1.05, MaxConsequentLen: 1}
+	seqSets, err := m.FrequentItemsets(MiningConfig{MinSupport: 0.02, MaxLen: 3, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRules, err := m.Rules(seqSets, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parSets, err := m.FrequentItemsets(MiningConfig{MinSupport: 0.02, MaxLen: 3, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRules, err := m.Rules(parSets, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqRules) == 0 {
+		t.Fatal("fixture mined no rules")
+	}
+	if len(parRules) != len(seqRules) {
+		t.Fatalf("parallel mined %d rules, sequential %d", len(parRules), len(seqRules))
+	}
+	for i := range seqRules {
+		if seqRules[i].String() != parRules[i].String() {
+			t.Fatalf("rule %d diverges: %v != %v", i, parRules[i], seqRules[i])
+		}
+	}
+}

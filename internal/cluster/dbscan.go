@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"indice/internal/parallel"
 )
 
 // Noise is the DBSCAN label for points in no cluster (the multivariate
@@ -30,6 +32,17 @@ type DBSCANResult struct {
 // queries touch only adjacent cells, giving near-linear behaviour on the
 // EPC workloads instead of the quadratic all-pairs scan.
 func DBSCAN(points [][]float64, eps float64, minPts int) (*DBSCANResult, error) {
+	return DBSCANParallel(points, eps, minPts, 1)
+}
+
+// DBSCANParallel is DBSCAN with the region queries fanned out across
+// parallelism workers: every point's eps-neighbourhood is computed up
+// front (each query is independent and deterministic), then the label
+// propagation runs sequentially over the precomputed lists. The labelling
+// is therefore bitwise-identical to the sequential algorithm at any
+// parallelism; the precompute trades O(Σ|neighbourhood|) memory for the
+// speedup and is skipped at parallelism <= 1.
+func DBSCANParallel(points [][]float64, eps float64, minPts, parallelism int) (*DBSCANResult, error) {
 	n := len(points)
 	if n == 0 {
 		return nil, errors.New("cluster: dbscan on empty input")
@@ -59,14 +72,25 @@ func DBSCAN(points [][]float64, eps float64, minPts int) (*DBSCANResult, error) 
 	}
 	const unvisited = Noise - 1
 
-	clusterID := 0
 	eps2 := eps * eps
+	neighboursOf := func(i int) []int { return idx.neighbours(i, eps2) }
+	if parallel.Workers(parallelism) > 1 {
+		all := make([][]int, n)
+		parallel.For(n, parallelism, func(start, end int) {
+			for i := start; i < end; i++ {
+				all[i] = idx.neighbours(i, eps2)
+			}
+		})
+		neighboursOf = func(i int) []int { return all[i] }
+	}
+
+	clusterID := 0
 	var queue []int
 	for i := 0; i < n; i++ {
 		if labels[i] != unvisited {
 			continue
 		}
-		neigh := idx.neighbours(i, eps2)
+		neigh := neighboursOf(i)
 		if len(neigh) < minPts {
 			labels[i] = Noise
 			continue
@@ -84,7 +108,7 @@ func DBSCAN(points [][]float64, eps float64, minPts int) (*DBSCANResult, error) 
 				continue
 			}
 			labels[j] = clusterID
-			jn := idx.neighbours(j, eps2)
+			jn := neighboursOf(j)
 			if len(jn) >= minPts {
 				queue = append(queue, jn...)
 			}
@@ -192,6 +216,13 @@ func (ci *cellIndex) neighbours(i int, eps2 float64) []int {
 // plot used to choose DBSCAN's eps. It is O(n²) and intended for the
 // sampled parameter-estimation pass, not the full clustering.
 func KDistances(points [][]float64, k int) ([]float64, error) {
+	return KDistancesParallel(points, k, 1)
+}
+
+// KDistancesParallel is KDistances with the per-point scans fanned out
+// across parallelism workers. Each point's k-distance is independent, so
+// the plot is identical at any parallelism.
+func KDistancesParallel(points [][]float64, k, parallelism int) ([]float64, error) {
 	n := len(points)
 	if n == 0 {
 		return nil, errors.New("cluster: k-distances on empty input")
@@ -200,18 +231,20 @@ func KDistances(points [][]float64, k int) ([]float64, error) {
 		return nil, fmt.Errorf("cluster: k=%d out of range [1, %d)", k, n)
 	}
 	out := make([]float64, n)
-	dists := make([]float64, 0, n-1)
-	for i := range points {
-		dists = dists[:0]
-		for j := range points {
-			if i == j {
-				continue
+	parallel.For(n, parallelism, func(start, end int) {
+		dists := make([]float64, 0, n-1)
+		for i := start; i < end; i++ {
+			dists = dists[:0]
+			for j := range points {
+				if i == j {
+					continue
+				}
+				dists = append(dists, sqDist(points[i], points[j]))
 			}
-			dists = append(dists, sqDist(points[i], points[j]))
+			sort.Float64s(dists)
+			out[i] = math.Sqrt(dists[k-1])
 		}
-		sort.Float64s(dists)
-		out[i] = math.Sqrt(dists[k-1])
-	}
+	})
 	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
 	return out, nil
 }
@@ -223,6 +256,12 @@ func KDistances(points [][]float64, k int) ([]float64, error) {
 // the stable curve. points should be a representative sample; the method
 // is quadratic in len(points).
 func EstimateDBSCANParams(points [][]float64, minPtsCandidates []int) (eps float64, minPts int, err error) {
+	return EstimateDBSCANParamsParallel(points, minPtsCandidates, 1)
+}
+
+// EstimateDBSCANParamsParallel is EstimateDBSCANParams with the quadratic
+// k-distance passes parallelized across parallelism workers.
+func EstimateDBSCANParamsParallel(points [][]float64, minPtsCandidates []int, parallelism int) (eps float64, minPts int, err error) {
 	if len(minPtsCandidates) == 0 {
 		minPtsCandidates = []int{3, 4, 5, 8, 10}
 	}
@@ -232,7 +271,7 @@ func EstimateDBSCANParams(points [][]float64, minPtsCandidates []int) (eps float
 		if k >= len(points) {
 			break
 		}
-		c, err := KDistances(points, k)
+		c, err := KDistancesParallel(points, k, parallelism)
 		if err != nil {
 			return 0, 0, err
 		}

@@ -10,6 +10,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
+
+	"indice/internal/parallel"
 )
 
 // KMeansConfig parameterizes a K-means run.
@@ -26,6 +29,12 @@ type KMeansConfig struct {
 	// Tolerance stops iteration when no centroid moves more than this
 	// (squared Euclidean); 0 means exact convergence.
 	Tolerance float64
+	// Parallelism bounds the worker goroutines of the assignment step
+	// (and, in SSECurve, of the sweep jobs). 0 or 1 run sequentially;
+	// parallel.Auto uses every CPU. Results are bitwise-identical at any
+	// setting: labels are per-point deterministic and every floating-point
+	// reduction folds in point-index order.
+	Parallelism int
 }
 
 // KMeansResult is the outcome of a K-means run.
@@ -87,20 +96,33 @@ func KMeans(points [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
 
 	var iter int
 	for iter = 1; iter <= cfg.MaxIterations; iter++ {
-		// Assignment step.
-		changed := false
-		for i, p := range points {
-			best, bestD := 0, math.Inf(1)
-			for c, cen := range centroids {
-				if d := sqDist(p, cen); d < bestD {
-					best, bestD = c, d
-				}
-			}
-			if labels[i] != best || iter == 1 {
-				changed = true
-			}
-			labels[i] = best
+		// Assignment step: each point's nearest centroid is independent of
+		// every other point, so chunks of the row range fan out across the
+		// workers. Ties resolve to the lowest centroid index either way.
+		var changedFlag atomic.Bool
+		if iter == 1 {
+			changedFlag.Store(true)
 		}
+		parallel.For(n, cfg.Parallelism, func(start, end int) {
+			chunkChanged := false
+			for i := start; i < end; i++ {
+				p := points[i]
+				best, bestD := 0, math.Inf(1)
+				for c, cen := range centroids {
+					if d := sqDist(p, cen); d < bestD {
+						best, bestD = c, d
+					}
+				}
+				if labels[i] != best {
+					chunkChanged = true
+				}
+				labels[i] = best
+			}
+			if chunkChanged {
+				changedFlag.Store(true)
+			}
+		})
+		changed := changedFlag.Load()
 
 		// Update step.
 		for c := range sums {
@@ -149,7 +171,9 @@ func KMeans(points [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
 		}
 	}
 
-	// Final stats.
+	// Final stats. Distances fan out per point; the SSE folds sequentially
+	// in point-index order so the sum is bitwise-stable across worker
+	// counts.
 	res := &KMeansResult{
 		K:          cfg.K,
 		Centroids:  centroids,
@@ -157,9 +181,15 @@ func KMeans(points [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
 		Iterations: iter,
 		Sizes:      make([]int, cfg.K),
 	}
-	for i, p := range points {
+	dists := make([]float64, n)
+	parallel.For(n, cfg.Parallelism, func(start, end int) {
+		for i := start; i < end; i++ {
+			dists[i] = sqDist(points[i], centroids[labels[i]])
+		}
+	})
+	for i := range points {
 		res.Sizes[labels[i]]++
-		res.SSE += sqDist(p, centroids[labels[i]])
+		res.SSE += dists[i]
 	}
 	return res, nil
 }
@@ -222,7 +252,11 @@ type SSECurvePoint struct {
 
 // SSECurve runs K-means for every K in [kMin, kMax] and returns the SSE
 // trend the elbow method inspects. Each K is run restarts times (≥1) with
-// distinct seeds, keeping the lowest SSE.
+// distinct seeds, keeping the lowest SSE. With cfg.Parallelism > 1 the
+// (K, restart) runs fan out across the workers as independent jobs; each
+// job is seeded exactly as the sequential sweep and the per-K minimum
+// folds in restart order, so the curve is bitwise-identical at any
+// parallelism.
 func SSECurve(points [][]float64, kMin, kMax, restarts int, cfg KMeansConfig) ([]SSECurvePoint, error) {
 	if kMin < 1 || kMax < kMin {
 		return nil, fmt.Errorf("cluster: bad K range [%d, %d]", kMin, kMax)
@@ -230,19 +264,29 @@ func SSECurve(points [][]float64, kMin, kMax, restarts int, cfg KMeansConfig) ([
 	if restarts < 1 {
 		restarts = 1
 	}
-	out := make([]SSECurvePoint, 0, kMax-kMin+1)
+	nk := kMax - kMin + 1
+	sses, err := parallel.MapErr(nk*restarts, cfg.Parallelism, func(j int) (float64, error) {
+		k := kMin + j/restarts
+		r := j % restarts
+		c := cfg
+		c.K = k
+		c.Seed = cfg.Seed + int64(r)*7919 + int64(k)
+		c.Parallelism = 1 // the sweep parallelizes across jobs, not within
+		res, err := KMeans(points, c)
+		if err != nil {
+			return 0, err
+		}
+		return res.SSE, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SSECurvePoint, 0, nk)
 	for k := kMin; k <= kMax; k++ {
 		best := math.Inf(1)
 		for r := 0; r < restarts; r++ {
-			c := cfg
-			c.K = k
-			c.Seed = cfg.Seed + int64(r)*7919 + int64(k)
-			res, err := KMeans(points, c)
-			if err != nil {
-				return nil, err
-			}
-			if res.SSE < best {
-				best = res.SSE
+			if sse := sses[(k-kMin)*restarts+r]; sse < best {
+				best = sse
 			}
 		}
 		out = append(out, SSECurvePoint{K: k, SSE: best})

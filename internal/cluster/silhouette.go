@@ -3,6 +3,8 @@ package cluster
 import (
 	"errors"
 	"math"
+
+	"indice/internal/parallel"
 )
 
 // Silhouette returns the mean silhouette coefficient of a labelled
@@ -11,6 +13,14 @@ import (
 // Points labelled Noise and singleton clusters contribute 0. The index is
 // O(n²); callers sample when n is large.
 func Silhouette(points [][]float64, labels []int) (float64, error) {
+	return SilhouetteParallel(points, labels, 1)
+}
+
+// SilhouetteParallel is Silhouette with the per-point O(n) scans fanned
+// out across parallelism workers. Each point's coefficient is computed
+// independently and the mean folds in point-index order, so the score is
+// bitwise-identical at any parallelism.
+func SilhouetteParallel(points [][]float64, labels []int, parallelism int) (float64, error) {
 	n := len(points)
 	if n == 0 || len(labels) != n {
 		return 0, errors.New("cluster: silhouette needs matching points and labels")
@@ -25,41 +35,52 @@ func Silhouette(points [][]float64, labels []int) (float64, error) {
 	if len(sizes) < 2 {
 		return 0, errors.New("cluster: silhouette needs at least two clusters")
 	}
+	// vals[i] is point i's silhouette contribution; eligible[i] marks the
+	// points that count toward the mean.
+	vals := make([]float64, n)
+	eligible := make([]bool, n)
+	parallel.For(n, parallelism, func(start, end int) {
+		sums := make(map[int]float64)
+		for i := start; i < end; i++ {
+			li := labels[i]
+			if li == Noise || sizes[li] < 2 {
+				continue
+			}
+			for k := range sums {
+				delete(sums, k)
+			}
+			for j := 0; j < n; j++ {
+				if i == j || labels[j] == Noise {
+					continue
+				}
+				sums[labels[j]] += Dist(points[i], points[j])
+			}
+			a := sums[li] / float64(sizes[li]-1)
+			b := math.Inf(1)
+			for l, s := range sums {
+				if l == li {
+					continue
+				}
+				if m := s / float64(sizes[l]); m < b {
+					b = m
+				}
+			}
+			if math.IsInf(b, 1) {
+				continue
+			}
+			eligible[i] = true
+			if den := math.Max(a, b); den > 0 {
+				vals[i] = (b - a) / den
+			}
+		}
+	})
 	var total float64
 	var counted int
-	sums := make(map[int]float64)
 	for i := 0; i < n; i++ {
-		li := labels[i]
-		if li == Noise || sizes[li] < 2 {
-			continue
+		if eligible[i] {
+			total += vals[i]
+			counted++
 		}
-		for k := range sums {
-			delete(sums, k)
-		}
-		for j := 0; j < n; j++ {
-			if i == j || labels[j] == Noise {
-				continue
-			}
-			sums[labels[j]] += Dist(points[i], points[j])
-		}
-		a := sums[li] / float64(sizes[li]-1)
-		b := math.Inf(1)
-		for l, s := range sums {
-			if l == li {
-				continue
-			}
-			if m := s / float64(sizes[l]); m < b {
-				b = m
-			}
-		}
-		if math.IsInf(b, 1) {
-			continue
-		}
-		den := math.Max(a, b)
-		if den > 0 {
-			total += (b - a) / den
-		}
-		counted++
 	}
 	if counted == 0 {
 		return 0, errors.New("cluster: no point eligible for silhouette")

@@ -9,6 +9,7 @@ import (
 	"indice/internal/cart"
 	"indice/internal/cluster"
 	"indice/internal/epc"
+	"indice/internal/parallel"
 	"indice/internal/stats"
 )
 
@@ -49,6 +50,17 @@ type AnalysisConfig struct {
 	ExtraRuleAttrs []string
 	// CART bounds the discretization trees.
 	CART cart.Config
+	// Parallelism is the worker degree of the analytics tier. The
+	// independent analyses — correlation screening, the K-means elbow
+	// sweep, CART discretization + rule mining, and the hierarchical view —
+	// run as a concurrent stage graph, and the same degree threads into
+	// each algorithm's own hot loop. Because the stages overlap, the tier
+	// may briefly run up to (stages × Parallelism) goroutines rather than
+	// treating the value as a global cap; the Go scheduler multiplexes
+	// them onto GOMAXPROCS threads either way. 0 or 1 run the tier fully
+	// sequentially; parallel.Auto uses every CPU. The Analysis is
+	// bitwise-identical at any setting.
+	Parallelism int
 }
 
 // DefaultAnalysisConfig mirrors the paper's case study.
@@ -134,7 +146,10 @@ func (e *Engine) Analyze(cfg AnalysisConfig) (*Analysis, error) {
 		Binnings:   make(map[string]*cart.Binning),
 	}
 
-	// 1. Correlation eligibility check over attributes + response.
+	// Shared inputs: column views for the correlation screen, the complete
+	// attribute matrix for clustering, and the response column. All cheap
+	// reads against the immutable table, loaded up front so the stages
+	// below share them without re-fetching.
 	names := append(append([]string(nil), cfg.Attributes...), cfg.Response)
 	cols := make([][]float64, len(names))
 	for i, n := range names {
@@ -144,20 +159,6 @@ func (e *Engine) Analyze(cfg AnalysisConfig) (*Analysis, error) {
 		}
 		cols[i] = v
 	}
-	corr, err := stats.NewCorrelationMatrix(names, cols)
-	if err != nil {
-		return nil, fmt.Errorf("core: analyze: %w", err)
-	}
-	an.Correlations = corr
-	// Eligibility concerns the clustering attributes only (the response
-	// may — should — correlate with them).
-	sub, err := stats.NewCorrelationMatrix(cfg.Attributes, cols[:len(cfg.Attributes)])
-	if err != nil {
-		return nil, err
-	}
-	an.WeaklyCorrelated = sub.WeaklyCorrelated(cfg.CorrelationThreshold)
-
-	// 2. K-means with SSE-elbow K on min-max normalized attributes.
 	mat, rowIdx, err := e.tab.Matrix(cfg.Attributes...)
 	if err != nil {
 		return nil, fmt.Errorf("core: analyze: %w", err)
@@ -166,116 +167,152 @@ func (e *Engine) Analyze(cfg AnalysisConfig) (*Analysis, error) {
 		return nil, fmt.Errorf("core: analyze: %d complete rows, need at least %d", len(mat), cfg.KMax)
 	}
 	norm := normalizeColumns(mat)
-	kcfg := cluster.KMeansConfig{Seed: cfg.Seed}
-	curve, err := cluster.SSECurve(norm, cfg.KMin, cfg.KMax, cfg.Restarts, kcfg)
-	if err != nil {
-		return nil, fmt.Errorf("core: analyze: %w", err)
-	}
-	an.SSECurve = curve
-	k, err := cluster.ElbowK(curve)
-	if err != nil {
-		return nil, err
-	}
-	an.ChosenK = k
-	kcfg.K = k
-	best, err := cluster.KMeans(norm, kcfg)
-	if err != nil {
-		return nil, fmt.Errorf("core: analyze: %w", err)
-	}
-	for r := 1; r < cfg.Restarts; r++ {
-		c := kcfg
-		c.Seed = cfg.Seed + int64(r)*7919 + int64(k)
-		res, err := cluster.KMeans(norm, c)
-		if err != nil {
-			return nil, err
-		}
-		if res.SSE < best.SSE {
-			best = res
-		}
-	}
-	an.Clustering = best
-	an.RowLabels = make([]int, e.tab.NumRows())
-	for i := range an.RowLabels {
-		an.RowLabels[i] = -1
-	}
-	for mi, row := range rowIdx {
-		an.RowLabels[row] = best.Labels[mi]
-	}
-
-	// Per-cluster response means.
-	resp, err := e.tab.Floats(cfg.Response)
-	if err != nil {
-		return nil, err
-	}
+	resp := cols[len(cols)-1]
 	respValid, _ := e.tab.ValidMask(cfg.Response)
-	sums := make([]float64, k)
-	counts := make([]int, k)
-	for row, l := range an.RowLabels {
-		if l < 0 || !respValid[row] {
-			continue
+
+	// The four analyses are independent of each other, so they run as a
+	// concurrent stage graph on cfg.Parallelism workers, each stage
+	// writing disjoint fields of an. At Parallelism <= 1 the stages run in
+	// the original sequential order.
+	correlationStage := func() error {
+		corr, err := stats.NewCorrelationMatrix(names, cols)
+		if err != nil {
+			return fmt.Errorf("core: analyze: %w", err)
 		}
-		sums[l] += resp[row]
-		counts[l]++
+		an.Correlations = corr
+		// Eligibility concerns the clustering attributes only (the
+		// response may — should — correlate with them).
+		sub, err := stats.NewCorrelationMatrix(cfg.Attributes, cols[:len(cfg.Attributes)])
+		if err != nil {
+			return err
+		}
+		an.WeaklyCorrelated = sub.WeaklyCorrelated(cfg.CorrelationThreshold)
+		return nil
 	}
-	an.ClusterResponseMeans = make([]float64, k)
-	for c := 0; c < k; c++ {
-		if counts[c] > 0 {
-			an.ClusterResponseMeans[c] = sums[c] / float64(counts[c])
+
+	// K-means with SSE-elbow K on min-max normalized attributes, then the
+	// per-cluster response means.
+	clusteringStage := func() error {
+		kcfg := cluster.KMeansConfig{Seed: cfg.Seed, Parallelism: cfg.Parallelism}
+		curve, err := cluster.SSECurve(norm, cfg.KMin, cfg.KMax, cfg.Restarts, kcfg)
+		if err != nil {
+			return fmt.Errorf("core: analyze: %w", err)
+		}
+		an.SSECurve = curve
+		k, err := cluster.ElbowK(curve)
+		if err != nil {
+			return err
+		}
+		an.ChosenK = k
+		// The final clustering repeats the restarts at the chosen K; the
+		// runs fan out as independent jobs and the minimum folds in
+		// restart order, exactly as the sequential loop.
+		results, err := parallel.MapErr(cfg.Restarts, cfg.Parallelism, func(r int) (*cluster.KMeansResult, error) {
+			c := kcfg
+			c.K = k
+			c.Parallelism = 1
+			if r > 0 {
+				c.Seed = cfg.Seed + int64(r)*7919 + int64(k)
+			}
+			return cluster.KMeans(norm, c)
+		})
+		if err != nil {
+			return fmt.Errorf("core: analyze: %w", err)
+		}
+		best := results[0]
+		for _, res := range results[1:] {
+			if res.SSE < best.SSE {
+				best = res
+			}
+		}
+		an.Clustering = best
+		an.RowLabels = make([]int, e.tab.NumRows())
+		for i := range an.RowLabels {
+			an.RowLabels[i] = -1
+		}
+		for mi, row := range rowIdx {
+			an.RowLabels[row] = best.Labels[mi]
+		}
+
+		// Per-cluster response means.
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for row, l := range an.RowLabels {
+			if l < 0 || !respValid[row] {
+				continue
+			}
+			sums[l] += resp[row]
+			counts[l]++
+		}
+		an.ClusterResponseMeans = make([]float64, k)
+		for c := 0; c < k; c++ {
+			if counts[c] > 0 {
+				an.ClusterResponseMeans[c] = sums[c] / float64(counts[c])
+			} else {
+				an.ClusterResponseMeans[c] = math.NaN()
+			}
+		}
+		return nil
+	}
+
+	// CART discretization of every attribute (and the response) against
+	// the response, then association-rule mining over the discretized
+	// transactions.
+	rulesStage := func() error {
+		binnings, err := parallel.MapErr(len(cfg.Attributes), cfg.Parallelism, func(i int) (*cart.Binning, error) {
+			b, err := cart.Discretize(cfg.Attributes[i], cols[i], resp, cfg.CART)
+			if err != nil {
+				return nil, fmt.Errorf("core: analyze: %w", err)
+			}
+			return b, nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, attr := range cfg.Attributes {
+			an.Binnings[attr] = binnings[i]
+		}
+		rb, err := cart.Discretize(cfg.Response, resp, resp, cfg.CART)
+		if err != nil {
+			return fmt.Errorf("core: analyze: %w", err)
+		}
+		an.Binnings[cfg.Response] = rb
+
+		txs, err := e.transactions(cfg, an)
+		if err != nil {
+			return err
+		}
+		miner, err := assoc.NewMiner(txs)
+		if err != nil {
+			return fmt.Errorf("core: analyze: %w", err)
+		}
+		mineCfg := assoc.MiningConfig{MinSupport: cfg.MinSupport, MaxLen: 3, Parallelism: cfg.Parallelism}
+		var frequent []assoc.FrequentItemset
+		if cfg.UseFPGrowth {
+			frequent, err = miner.FrequentItemsetsFP(mineCfg)
 		} else {
-			an.ClusterResponseMeans[c] = math.NaN()
+			frequent, err = miner.FrequentItemsets(mineCfg)
 		}
-	}
-
-	// 3. CART discretization of every attribute (and the response)
-	// against the response, then association-rule mining.
-	respClean := resp
-	for _, attr := range cfg.Attributes {
-		xs, err := e.tab.Floats(attr)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("core: analyze: %w", err)
 		}
-		b, err := cart.Discretize(attr, xs, respClean, cfg.CART)
+		rules, err := miner.Rules(frequent, assoc.RuleConfig{
+			MinConfidence:    cfg.MinConfidence,
+			MinLift:          cfg.MinLift,
+			MaxConsequentLen: 1,
+		})
 		if err != nil {
-			return nil, fmt.Errorf("core: analyze: %w", err)
+			return fmt.Errorf("core: analyze: %w", err)
 		}
-		an.Binnings[attr] = b
+		an.Rules = rules
+		return nil
 	}
-	rb, err := cart.Discretize(cfg.Response, respClean, respClean, cfg.CART)
-	if err != nil {
-		return nil, fmt.Errorf("core: analyze: %w", err)
-	}
-	an.Binnings[cfg.Response] = rb
 
-	txs, err := e.transactions(cfg, an)
-	if err != nil {
-		return nil, err
-	}
-	miner, err := assoc.NewMiner(txs)
-	if err != nil {
-		return nil, fmt.Errorf("core: analyze: %w", err)
-	}
-	mineCfg := assoc.MiningConfig{MinSupport: cfg.MinSupport, MaxLen: 3}
-	var frequent []assoc.FrequentItemset
-	if cfg.UseFPGrowth {
-		frequent, err = miner.FrequentItemsetsFP(mineCfg)
-	} else {
-		frequent, err = miner.FrequentItemsets(mineCfg)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("core: analyze: %w", err)
-	}
-	rules, err := miner.Rules(frequent, assoc.RuleConfig{
-		MinConfidence:    cfg.MinConfidence,
-		MinLift:          cfg.MinLift,
-		MaxConsequentLen: 1,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: analyze: %w", err)
-	}
-	an.Rules = rules
-
-	// 4. Optional hierarchical view over a sample.
-	if cfg.HierarchicalSample > 0 {
+	// Optional hierarchical view over a sample.
+	dendrogramStage := func() error {
+		if cfg.HierarchicalSample <= 0 {
+			return nil
+		}
 		sample := norm
 		if len(sample) > cfg.HierarchicalSample {
 			stride := len(sample) / cfg.HierarchicalSample
@@ -287,11 +324,25 @@ func (e *Engine) Analyze(cfg AnalysisConfig) (*Analysis, error) {
 		}
 		dg, err := cluster.Hierarchical(sample, cluster.AverageLinkage)
 		if err != nil {
-			return nil, fmt.Errorf("core: analyze: %w", err)
+			return fmt.Errorf("core: analyze: %w", err)
 		}
 		an.Dendrogram = dg
+		return nil
+	}
+
+	if err := parallel.Tasks(cfg.Parallelism,
+		correlationStage, clusteringStage, rulesStage, dendrogramStage); err != nil {
+		return nil, err
 	}
 	return an, nil
+}
+
+// RuleTransactions converts the engine's current table into the
+// transactional dataset the rule miner consumes — the CART-discretized
+// numeric attributes of an plus cfg.ExtraRuleAttrs. Exposed so external
+// harnesses (the E6 benchmarks) mine exactly the workload Analyze mines.
+func (e *Engine) RuleTransactions(cfg AnalysisConfig, an *Analysis) ([]assoc.Transaction, error) {
+	return e.transactions(cfg, an)
 }
 
 // transactions converts the table into the transactional dataset of the

@@ -120,6 +120,18 @@ type PreprocessConfig struct {
 	MultivariateCfg outlier.MultivariateConfig
 	// DropOutliers removes flagged rows from the working table.
 	DropOutliers bool
+	// ByZoneAttr, when non-empty, partitions the table by this categorical
+	// attribute (typically the district or neighbourhood label) and runs
+	// the univariate screen independently inside each zone, so fences
+	// adapt to local distributions. Zones fan out across Parallelism
+	// workers.
+	ByZoneAttr string
+	// Parallelism bounds the worker goroutines of the pre-processing tier
+	// (per-attribute and per-zone detection fan-out, DBSCAN region
+	// queries). 0 or 1 run sequentially; results are identical at any
+	// setting. It is only applied to the Univariate and MultivariateCfg
+	// sub-configurations when those leave their own Parallelism unset.
+	Parallelism int
 }
 
 // DefaultPreprocessConfig mirrors the paper's pre-processing: clean
@@ -147,6 +159,8 @@ type PreprocessReport struct {
 	UnivariateMethod outlier.Method
 	// Suggested is true when the method came from the expert store.
 	Suggested bool
+	// Zones holds the per-partition results when ByZoneAttr was set.
+	Zones []*outlier.ZoneResult
 	// Multivariate is nil unless the DBSCAN screen ran.
 	Multivariate *outlier.MultivariateResult
 	// OutlierRows is the union of flagged rows (indices into the table
@@ -198,19 +212,37 @@ func (e *Engine) Preprocess(cfg PreprocessConfig) (*PreprocessReport, error) {
 		}
 	}
 	rep.UnivariateMethod = ucfg.Method
-
-	results, union, err := outlier.DetectColumns(e.tab, attrs, ucfg)
-	if err != nil {
-		return nil, fmt.Errorf("core: preprocess: %w", err)
+	if ucfg.Parallelism == 0 {
+		ucfg.Parallelism = cfg.Parallelism
 	}
-	rep.Univariate = results
+
+	var union []int
+	if cfg.ByZoneAttr != "" {
+		zones, u, err := outlier.DetectByZone(e.tab, cfg.ByZoneAttr, attrs, ucfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: preprocess: %w", err)
+		}
+		rep.Zones = zones
+		union = u
+	} else {
+		results, u, err := outlier.DetectColumns(e.tab, attrs, ucfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: preprocess: %w", err)
+		}
+		rep.Univariate = results
+		union = u
+	}
 	flagged := map[int]struct{}{}
 	for _, r := range union {
 		flagged[r] = struct{}{}
 	}
 
 	if cfg.Multivariate {
-		mres, err := outlier.DetectMultivariate(e.tab, attrs, cfg.MultivariateCfg)
+		mcfg := cfg.MultivariateCfg
+		if mcfg.Parallelism == 0 {
+			mcfg.Parallelism = cfg.Parallelism
+		}
+		mres, err := outlier.DetectMultivariate(e.tab, attrs, mcfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: preprocess: %w", err)
 		}

@@ -115,6 +115,10 @@ type Result struct {
 type Runner struct {
 	World  *World
 	OutDir string
+	// Parallelism threads into the analytics and pre-processing tiers of
+	// every experiment (0 or 1 sequential, negative = all CPUs). Reports
+	// are identical at any setting.
+	Parallelism int
 }
 
 // writeFigure persists an artifact and returns its path (empty without an
@@ -282,6 +286,7 @@ func (r *Runner) E3() (*Result, error) {
 		cfg.DropOutliers = false
 		cfg.OutlierAttrs = attrs
 		cfg.Univariate = outlier.DefaultConfig(m)
+		cfg.Parallelism = r.Parallelism
 		rep, err := eng.Preprocess(cfg)
 		if err != nil {
 			return nil, err
@@ -295,6 +300,7 @@ func (r *Runner) E3() (*Result, error) {
 	cfg.OutlierAttrs = attrs
 	cfg.Univariate = outlier.DefaultConfig(outlier.MethodMAD)
 	cfg.Multivariate = true
+	cfg.Parallelism = r.Parallelism
 	rep, err := eng.Preprocess(cfg)
 	if err != nil {
 		return nil, err

@@ -26,7 +26,9 @@ func (r *Runner) preparedEngine() (*core.Engine, error) {
 	if _, err := eng.Select(query.Residential()); err != nil {
 		return nil, err
 	}
-	if _, err := eng.Preprocess(core.DefaultPreprocessConfig()); err != nil {
+	pcfg := core.DefaultPreprocessConfig()
+	pcfg.Parallelism = r.Parallelism
+	if _, err := eng.Preprocess(pcfg); err != nil {
 		return nil, err
 	}
 	return eng, nil
@@ -38,6 +40,7 @@ func (r *Runner) analysisConfig() core.AnalysisConfig {
 	if r.World.Scale.Certificates < 5000 {
 		cfg.KMax = 8
 	}
+	cfg.Parallelism = r.Parallelism
 	return cfg
 }
 

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"indice/internal/cluster"
+	"indice/internal/parallel"
 	"indice/internal/stats"
 	"indice/internal/table"
 )
@@ -41,6 +42,11 @@ type Config struct {
 	// MADCutoff is the modified z-score threshold (default 3.5, the value
 	// the paper adopts from Iglewicz & Hoaglin).
 	MADCutoff float64
+	// Parallelism bounds the worker goroutines of DetectColumns (fanning
+	// across attributes) and DetectByZone (fanning across geographic
+	// partitions). 0 or 1 run sequentially; per-attribute and per-zone
+	// detections are independent, so results are identical at any setting.
+	Parallelism int
 }
 
 // DefaultConfig returns the defaults for the given method.
@@ -83,6 +89,20 @@ func DetectColumn(t *table.Table, attr string, cfg Config) (*Result, error) {
 	if len(xs) == 0 {
 		return res, nil
 	}
+	local, err := detectValues(attr, xs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range local {
+		res.Rows = append(res.Rows, rows[i])
+	}
+	return res, nil
+}
+
+// detectValues runs the configured univariate method over a dense value
+// slice and returns the flagged local indices, ascending.
+func detectValues(attr string, xs []float64, cfg Config) ([]int, error) {
+	var out []int
 	switch cfg.Method {
 	case MethodBoxplot:
 		k := cfg.BoxplotK
@@ -95,12 +115,12 @@ func DetectColumn(t *table.Table, attr string, cfg Config) (*Result, error) {
 		}
 		for i, v := range xs {
 			if v < f.Lower || v > f.Upper {
-				res.Rows = append(res.Rows, rows[i])
+				out = append(out, i)
 			}
 		}
 	case MethodGESD:
 		if len(xs) < 3 {
-			return res, nil
+			return nil, nil
 		}
 		max := cfg.GESDMaxOutliers
 		if max <= 0 {
@@ -117,10 +137,8 @@ func DetectColumn(t *table.Table, attr string, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("outlier: gESD on %q: %w", attr, err)
 		}
-		for _, i := range idx {
-			res.Rows = append(res.Rows, rows[i])
-		}
-		sortInts(res.Rows)
+		out = append(out, idx...)
+		sortInts(out)
 	case MethodMAD:
 		cut := cfg.MADCutoff
 		if cut <= 0 {
@@ -132,31 +150,34 @@ func DetectColumn(t *table.Table, attr string, cfg Config) (*Result, error) {
 		}
 		for i, z := range zs {
 			if !math.IsNaN(z) && math.Abs(z) > cut {
-				res.Rows = append(res.Rows, rows[i])
+				out = append(out, i)
 			}
 		}
 	default:
 		return nil, fmt.Errorf("outlier: unknown method %q", cfg.Method)
 	}
-	return res, nil
+	return out, nil
 }
 
 // DetectColumns runs the same configuration over several attributes and
 // returns the union of flagged rows together with the per-attribute
 // results. Values labelled as outliers on any attribute are excluded from
-// subsequent analysis steps, as the paper specifies.
+// subsequent analysis steps, as the paper specifies. Attributes are
+// screened concurrently on cfg.Parallelism workers; each screen is
+// independent and the union is rebuilt sequentially, so the output is
+// identical at any parallelism.
 func DetectColumns(t *table.Table, attrs []string, cfg Config) ([]*Result, []int, error) {
 	if len(attrs) == 0 {
 		return nil, nil, errors.New("outlier: no attributes given")
 	}
-	var all []*Result
+	all, err := parallel.MapErr(len(attrs), cfg.Parallelism, func(i int) (*Result, error) {
+		return DetectColumn(t, attrs[i], cfg)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	union := make(map[int]struct{})
-	for _, a := range attrs {
-		r, err := DetectColumn(t, a, cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		all = append(all, r)
+	for _, r := range all {
 		for _, row := range r.Rows {
 			union[row] = struct{}{}
 		}
@@ -198,6 +219,10 @@ type MultivariateConfig struct {
 	// MinPtsCandidates are the candidate minPts values for the
 	// stabilisation search (default 3,4,5,8,10).
 	MinPtsCandidates []int
+	// Parallelism bounds the worker goroutines of the k-distance
+	// estimation pass and the DBSCAN region queries. 0 or 1 run
+	// sequentially; results are identical at any setting.
+	Parallelism int
 }
 
 // MultivariateResult reports a DBSCAN detection run.
@@ -247,7 +272,7 @@ func DetectMultivariate(t *table.Table, attrs []string, cfg MultivariateConfig) 
 			}
 			sample = s
 		}
-		e, m, err := cluster.EstimateDBSCANParams(sample, cfg.MinPtsCandidates)
+		e, m, err := cluster.EstimateDBSCANParamsParallel(sample, cfg.MinPtsCandidates, cfg.Parallelism)
 		if err != nil {
 			return nil, fmt.Errorf("outlier: parameter estimation: %w", err)
 		}
@@ -259,7 +284,7 @@ func DetectMultivariate(t *table.Table, attrs []string, cfg MultivariateConfig) 
 		}
 	}
 
-	res, err := cluster.DBSCAN(norm, eps, minPts)
+	res, err := cluster.DBSCANParallel(norm, eps, minPts, cfg.Parallelism)
 	if err != nil {
 		return nil, fmt.Errorf("outlier: dbscan: %w", err)
 	}

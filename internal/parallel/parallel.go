@@ -1,0 +1,178 @@
+// Package parallel provides the bounded concurrency primitives the INDICE
+// analytics engine threads through its hot paths: a chunked parallel-for,
+// an indexed map, a chunk-wise map/reduce, and a task group for running
+// independent pipeline stages concurrently.
+//
+// Every helper takes an explicit worker count resolved by Workers: 1 (or
+// 0, the zero value of the configs that embed it) runs inline with no
+// goroutines, and Auto expands to GOMAXPROCS. Callers that need
+// bitwise-identical results across worker counts must keep their
+// reductions order-independent (integer counts) or reduce indexed results
+// sequentially; ChunkReduce folds chunk results in ascending chunk order
+// to make the order at least deterministic for a fixed worker count.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Auto requests one worker per available CPU (GOMAXPROCS).
+const Auto = -1
+
+// Workers resolves a requested parallelism degree: values >= 1 are taken
+// as-is, 0 (the zero value of embedding configs) means sequential, and
+// negative values (Auto) mean GOMAXPROCS.
+func Workers(requested int) int {
+	switch {
+	case requested >= 1:
+		return requested
+	case requested == 0:
+		return 1
+	default:
+		return runtime.GOMAXPROCS(0)
+	}
+}
+
+// For splits [0, n) into at most workers contiguous chunks and runs body
+// on each concurrently. body receives the half-open [start, end) bounds
+// of its chunk. One worker (or n <= 1) degrades to a single inline call.
+func For(n, workers int, body func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		body(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			body(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// ForEach runs body(i) for every i in [0, n) across workers.
+func ForEach(n, workers int, body func(i int)) {
+	For(n, workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			body(i)
+		}
+	})
+}
+
+// Map fills out[i] = f(i) for i in [0, n) across workers. Each index is
+// computed independently, so the result does not depend on workers.
+func Map[T any](n, workers int, f func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) {
+		out[i] = f(i)
+	})
+	return out
+}
+
+// MapErr is Map for fallible producers. All indices are attempted; the
+// error of the lowest failing index is returned (deterministic across
+// worker counts), alongside the partial results.
+func MapErr[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEach(n, workers, func(i int) {
+		out[i], errs[i] = f(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// ChunkReduce maps each contiguous chunk of [0, n) through mapper on
+// workers goroutines, then folds the chunk results into acc in ascending
+// chunk order. The fold itself runs on the calling goroutine. Reductions
+// over exact values (integer counts) are independent of the chunking;
+// floating-point folds are deterministic only for a fixed worker count.
+func ChunkReduce[T any](n, workers int, acc T, mapper func(start, end int) T, fold func(acc, part T) T) T {
+	if n <= 0 {
+		return acc
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return fold(acc, mapper(0, n))
+	}
+	chunk := (n + workers - 1) / workers
+	nchunks := (n + chunk - 1) / chunk
+	parts := make([]T, nchunks)
+	var wg sync.WaitGroup
+	for c := 0; c < nchunks; c++ {
+		start := c * chunk
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(c, s, e int) {
+			defer wg.Done()
+			parts[c] = mapper(s, e)
+		}(c, start, end)
+	}
+	wg.Wait()
+	for _, p := range parts {
+		acc = fold(acc, p)
+	}
+	return acc
+}
+
+// Tasks runs independent stage functions on at most workers goroutines
+// and returns the error of the lowest-index failing task. With one worker
+// the tasks run inline in order and the first failure short-circuits the
+// rest — the fully sequential pipeline. With more workers every task runs
+// to completion; since callers discard their output on error, the two
+// modes are observationally identical.
+func Tasks(workers int, tasks ...func() error) error {
+	workers = Workers(workers)
+	if workers == 1 {
+		for _, task := range tasks {
+			if err := task(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(tasks))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, task := range tasks {
+		wg.Add(1)
+		go func(i int, task func() error) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = task()
+		}(i, task)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
