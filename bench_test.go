@@ -7,6 +7,7 @@ package indice
 //	go test -bench=. -benchmem .
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"testing"
@@ -21,7 +22,9 @@ import (
 	"indice/internal/geocode"
 	"indice/internal/outlier"
 	"indice/internal/query"
+	"indice/internal/store"
 	"indice/internal/synth"
+	"indice/internal/table"
 )
 
 var (
@@ -402,6 +405,62 @@ func BenchmarkE8Dashboards(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkE9Ingest measures streaming-store ingestion throughput
+// (records/s) at 1, 4 and 8 shards: the world's 2000-certificate table is
+// appended batch-by-batch into a fresh store, then snapshotted once. On a
+// single-CPU host the shard counts tie; on multi-core hosts the sharded
+// variants overlap index/stat maintenance across batches (batches fan in
+// from concurrent clients in production).
+func BenchmarkE9Ingest(b *testing.B) {
+	w := benchWorld(b)
+	const batchRows = 500
+	var batches []*table.Table
+	for off := 0; off < w.Clean.NumRows(); off += batchRows {
+		end := off + batchRows
+		if end > w.Clean.NumRows() {
+			end = w.Clean.NumRows()
+		}
+		part, err := w.Clean.Slice(off, end)
+		if err != nil {
+			b.Fatal(err)
+		}
+		batches = append(batches, part)
+	}
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			rows := 0
+			for i := 0; i < b.N; i++ {
+				cfg := store.DefaultConfig()
+				cfg.Shards = shards
+				st, err := store.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var wg sync.WaitGroup
+				for _, batch := range batches {
+					wg.Add(1)
+					go func(batch *table.Table) {
+						defer wg.Done()
+						if _, err := st.AppendTable(batch); err != nil {
+							b.Error(err)
+						}
+					}(batch)
+				}
+				wg.Wait()
+				snap := st.Snapshot()
+				if snap.NumRows() != w.Clean.NumRows() {
+					b.Fatalf("snapshot rows = %d", snap.NumRows())
+				}
+				rows += snap.NumRows()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(rows)/b.Elapsed().Seconds(), "records/s")
 		})
 	}
 }

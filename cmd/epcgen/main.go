@@ -2,16 +2,29 @@
 // format the indice CLI consumes, together with the referenced street map.
 //
 //	epcgen -n 25000 -seed 1 -out epcs.csv -streets streets.csv [-corrupt]
+//
+// Streaming mode feeds a live indice-server instead of writing a file,
+// POSTing the collection to its ingestion endpoint in typed-CSV batches —
+// the load generator for live-ingest deployments:
+//
+//	epcgen -n 100000 -stream http://localhost:8080/api/ingest \
+//	       -batch 2000 -stream-interval 100ms
 package main
 
 import (
+	"bytes"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strconv"
+	"time"
 
 	"indice/internal/synth"
+	"indice/internal/table"
 )
 
 func main() {
@@ -22,6 +35,10 @@ func main() {
 		streets  = flag.String("streets", "", "optional street-map output path (plain CSV)")
 		corrupt  = flag.Bool("corrupt", false, "inject address typos, missing fields and outliers")
 		typoRate = flag.Float64("typo-rate", 0.12, "address typo rate when -corrupt is set")
+
+		stream         = flag.String("stream", "", "POST the collection to this ingestion endpoint instead of writing -out")
+		batchSize      = flag.Int("batch", 2000, "rows per ingestion batch when -stream is set")
+		streamInterval = flag.Duration("stream-interval", 0, "pause between ingestion batches when -stream is set")
 	)
 	flag.Parse()
 
@@ -48,6 +65,13 @@ func main() {
 		tab = dirty
 		fmt.Fprintf(os.Stderr, "injected: %d address typos, %d ZIP defects, %d coordinate defects\n",
 			len(truth.TypoRows), len(truth.ZIPDamagedRows), len(truth.CoordDamagedRows))
+	}
+
+	if *stream != "" {
+		if err := streamTo(*stream, tab, *batchSize, *streamInterval); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	f, err := os.Create(*out)
@@ -91,6 +115,61 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d street-map entries to %s\n", len(city.Entries), *streets)
 	}
+}
+
+// streamTo POSTs the table to a live ingestion endpoint in typed-CSV
+// batches, reporting throughput as it goes.
+func streamTo(url string, tab *table.Table, batchSize int, pause time.Duration) error {
+	if batchSize < 1 {
+		return fmt.Errorf("batch size %d", batchSize)
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+	start := time.Now()
+	sent, rejected := 0, 0
+	for off := 0; off < tab.NumRows(); off += batchSize {
+		end := off + batchSize
+		if end > tab.NumRows() {
+			end = tab.NumRows()
+		}
+		part, err := tab.Slice(off, end)
+		if err != nil {
+			return err
+		}
+		var body bytes.Buffer
+		if err := part.WriteCSV(&body); err != nil {
+			return err
+		}
+		resp, err := client.Post(url, "text/csv", &body)
+		if err != nil {
+			return fmt.Errorf("batch at row %d: %w", off, err)
+		}
+		payload, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("batch at row %d: server answered %d: %s",
+				off, resp.StatusCode, bytes.TrimSpace(payload))
+		}
+		var ack struct {
+			Accepted int `json:"accepted"`
+			Rejected int `json:"rejected"`
+			Rows     int `json:"rows"`
+		}
+		if err := json.Unmarshal(payload, &ack); err != nil {
+			return fmt.Errorf("batch at row %d: bad ingest response: %w", off, err)
+		}
+		sent += ack.Accepted
+		rejected += ack.Rejected
+		fmt.Fprintf(os.Stderr, "\rstreamed %d/%d certificates (%d rejected, store at %d rows)",
+			sent, tab.NumRows(), rejected, ack.Rows)
+		if pause > 0 {
+			time.Sleep(pause)
+		}
+	}
+	elapsed := time.Since(start)
+	rate := float64(sent) / elapsed.Seconds()
+	fmt.Fprintf(os.Stderr, "\nstreamed %d certificates in %v (%.0f records/s, %d rejected)\n",
+		sent, elapsed.Round(time.Millisecond), rate, rejected)
+	return nil
 }
 
 func fatal(err error) {

@@ -1,18 +1,32 @@
 // Command indice-server serves the INDICE dashboards over HTTP: the
 // dynamic, navigable counterpart of the one-shot indice CLI.
 //
+// Batch mode (default) analyzes the input once and serves it frozen:
+//
 //	indice-server -epcs epcs.csv [-streets streets.csv] -addr :8080
 //
+// Live mode keeps ingesting while serving: certificates stream in via
+// POST /api/ingest into a sharded store, and the pipeline re-runs over
+// consistent snapshots — on demand (POST /api/refresh) and/or on a timer:
+//
+//	indice-server -ingest -refresh-interval 30s -shards 4 -addr :8080
+//
 // Routes: / (navigation), /dashboard/{stakeholder}, /map?level=&attr=,
-// /api/{stats,zones,rules,clusters}.
+// /api/{stats,zones,rules,clusters}; live mode adds
+// /api/{ingest,refresh,store}.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"indice/internal/core"
 	"indice/internal/epc"
@@ -21,6 +35,7 @@ import (
 	"indice/internal/parallel"
 	"indice/internal/query"
 	"indice/internal/server"
+	"indice/internal/store"
 	"indice/internal/synth"
 	"indice/internal/table"
 )
@@ -28,11 +43,16 @@ import (
 func main() {
 	var (
 		epcsPath = flag.String("epcs", "", "EPC table (typed CSV); empty generates a synthetic demo collection")
-		n        = flag.Int("n", 8000, "synthetic certificates when -epcs is empty")
+		n        = flag.Int("n", 8000, "synthetic certificates when -epcs is empty (0 starts live mode empty)")
 		addr     = flag.String("addr", ":8080", "listen address")
-		use      = flag.String("use", epc.UseResidential, "intended-use selection ('' disables)")
+		use      = flag.String("use", epc.UseResidential, "intended-use selection ('' disables); batch mode only")
 		kMax     = flag.Int("kmax", 10, "upper bound of the K-means sweep")
 		par      = flag.Int("parallelism", 0, "analytics worker goroutines (0 = all CPUs, 1 = sequential); results are identical at any setting")
+
+		ingest          = flag.Bool("ingest", false, "live mode: serve from a sharded streaming store with POST /api/ingest enabled")
+		refreshInterval = flag.Duration("refresh-interval", 0, "live mode: re-run the pipeline this often (0 = only on POST /api/refresh)")
+		shards          = flag.Int("shards", 4, "live mode: store shard count")
+		validate        = flag.Bool("validate", false, "live mode: reject ingested rows violating the EPC attribute specs")
 	)
 	flag.Parse()
 	workers := *par
@@ -45,18 +65,23 @@ func main() {
 		hier *geo.Hierarchy
 		opts core.Options
 	)
+	wantSeed := *epcsPath != "" || *n > 0
 	if *epcsPath == "" {
 		city, err := synth.GenerateCity(synth.DefaultCityConfig())
 		if err != nil {
 			log.Fatal(err)
 		}
-		cfg := synth.DefaultConfig()
-		cfg.Certificates = *n
-		ds, err := synth.Generate(cfg, city)
-		if err != nil {
-			log.Fatal(err)
+		hier = city.Hierarchy
+		if wantSeed {
+			cfg := synth.DefaultConfig()
+			cfg.Certificates = *n
+			ds, err := synth.Generate(cfg, city)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tab = ds.Table
+			fmt.Fprintf(os.Stderr, "generated %d synthetic certificates\n", tab.NumRows())
 		}
-		tab, hier = ds.Table, city.Hierarchy
 		entries := make([]geocode.ReferenceEntry, len(city.Entries))
 		for i, e := range city.Entries {
 			entries[i] = geocode.ReferenceEntry{Street: e.Street, HouseNumber: e.HouseNumber, ZIP: e.ZIP, Point: e.Point}
@@ -65,7 +90,6 @@ func main() {
 			opts.StreetMap = sm
 			opts.Geocoder = geocode.NewMockGeocoder(sm, 2000)
 		}
-		fmt.Fprintf(os.Stderr, "generated %d synthetic certificates\n", tab.NumRows())
 	} else {
 		f, err := os.Open(*epcsPath)
 		if err != nil {
@@ -95,12 +119,53 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loaded %d certificates from %s\n", tab.NumRows(), *epcsPath)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var handler http.Handler
+	if *ingest {
+		handler = buildLive(ctx, tab, hier, opts, workers, *kMax, *shards, *validate, *refreshInterval)
+	} else {
+		handler = buildStatic(tab, hier, opts, workers, *kMax, *use)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "serving INDICE on %s\n", *addr)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "signal received, draining connections")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		fmt.Fprintln(os.Stderr, "bye")
+	}
+}
+
+// buildStatic runs the batch pipeline once and serves the frozen result.
+func buildStatic(tab *table.Table, hier *geo.Hierarchy, opts core.Options, workers, kMax int, use string) http.Handler {
+	if tab == nil || tab.NumRows() == 0 {
+		log.Fatal("batch mode needs data: provide -epcs or -n > 0 (or run -ingest)")
+	}
 	eng, err := core.NewEngine(tab, hier, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *use != "" {
-		if _, err := eng.Select(query.In{Attr: epc.AttrIntendedUse, Values: []string{*use}}); err != nil {
+	if use != "" {
+		if _, err := eng.Select(query.In{Attr: epc.AttrIntendedUse, Values: []string{use}}); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -110,7 +175,7 @@ func main() {
 		log.Fatal(err)
 	}
 	acfg := core.DefaultAnalysisConfig()
-	acfg.KMax = *kMax
+	acfg.KMax = kMax
 	acfg.Parallelism = workers
 	an, err := eng.Analyze(acfg)
 	if err != nil {
@@ -120,7 +185,60 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "serving INDICE on %s (%d certificates, K=%d, %d rules)\n",
-		*addr, eng.Table().NumRows(), an.ChosenK, len(an.Rules))
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	fmt.Fprintf(os.Stderr, "batch pipeline done (%d certificates, K=%d, %d rules)\n",
+		eng.Table().NumRows(), an.ChosenK, len(an.Rules))
+	return srv
+}
+
+// buildLive seeds the sharded store, starts the auto-refresh loop and
+// serves from the published snapshots.
+func buildLive(ctx context.Context, tab *table.Table, hier *geo.Hierarchy, opts core.Options,
+	workers, kMax, shards int, validate bool, refreshInterval time.Duration) http.Handler {
+	scfg := store.DefaultConfig()
+	scfg.Shards = shards
+	scfg.Validate = validate
+	st, err := store.New(scfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tab != nil && tab.NumRows() > 0 {
+		res, err := st.AppendTable(tab)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "seeded store with %d certificates (%d rejected)\n",
+			res.Accepted, res.Rejected)
+	}
+	pcfg := core.DefaultPreprocessConfig()
+	pcfg.Parallelism = workers
+	acfg := core.DefaultAnalysisConfig()
+	acfg.KMax = kMax
+	acfg.Parallelism = workers
+	live, err := core.NewLive(st, hier, core.LiveConfig{
+		Preprocess: pcfg,
+		Analysis:   acfg,
+		Options:    opts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if st.Rows() > 0 {
+		if pub, err := live.Refresh(); err != nil {
+			if errors.Is(err, core.ErrStoreTooSmall) {
+				fmt.Fprintf(os.Stderr, "initial refresh skipped: %v\n", err)
+			} else {
+				log.Fatal(err)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "initial refresh done in %v (%d certificates, K=%d)\n",
+				pub.Took.Round(time.Millisecond), pub.Engine.Table().NumRows(), pub.Analysis.ChosenK)
+		}
+	}
+	go live.AutoRefresh(ctx, refreshInterval)
+	srv, err := server.NewLive(live)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "live mode: %d shards, refresh interval %v\n", shards, refreshInterval)
+	return srv
 }

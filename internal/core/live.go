@@ -1,0 +1,239 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"indice/internal/geo"
+	"indice/internal/store"
+)
+
+// Live converts the batch pipeline into a serving loop over a streaming
+// store: ingestion appends into the sharded store while readers keep
+// hitting the last published state, and Refresh re-runs Preprocess +
+// Analyze over a fresh snapshot and atomically swaps the result in.
+//
+//	live := core.NewLive(st, hier, core.LiveConfig{})
+//	go live.AutoRefresh(ctx, time.Minute)
+//	...
+//	if pub := live.Current(); pub != nil { pub.Engine, pub.Analysis ... }
+type Live struct {
+	store *store.Store
+	hier  *geo.Hierarchy
+	cfg   LiveConfig
+
+	cur atomic.Pointer[Published]
+
+	// refreshMu single-flights Refresh: concurrent callers queue rather
+	// than racing duplicate analyses.
+	refreshMu  sync.Mutex
+	inFlight   atomic.Bool
+	refreshes  atomic.Uint64
+	lastErr    atomic.Pointer[string]
+	lastErrAt  atomic.Int64
+	refreshNow chan struct{}
+}
+
+// LiveConfig parameterizes the refresh pipeline.
+type LiveConfig struct {
+	// Preprocess and Analysis configure the two pipeline tiers run on
+	// every refresh; zero values take the library defaults. The configs'
+	// Parallelism threads into internal/parallel as usual.
+	Preprocess PreprocessConfig
+	Analysis   AnalysisConfig
+	// Options configures each refresh's Engine (street map, geocoder).
+	Options Options
+	// MinRows gates refreshing: snapshots smaller than this are rejected
+	// so the analytics never run on a statistically empty store. Default
+	// max(5×KMax, 50) — Analyze needs at least KMax complete rows, and a
+	// margin on top keeps the elbow sweep meaningful.
+	MinRows int
+	// SkipAnalysis publishes preprocessed engines without the analytics
+	// tier (dashboards needing analysis then 404, like a nil-analysis
+	// server).
+	SkipAnalysis bool
+}
+
+// Published is one atomically swapped serving state: the engine and
+// analysis built from the store snapshot of the recorded epoch.
+type Published struct {
+	// Epoch is the store epoch of the snapshot this state was built from.
+	Epoch uint64
+	// Rows is the snapshot row count before preprocessing.
+	Rows int
+	// Engine holds the preprocessed table; Analysis may be nil with
+	// LiveConfig.SkipAnalysis.
+	Engine   *Engine
+	Analysis *Analysis
+	// Report documents the preprocessing of this refresh.
+	Report *PreprocessReport
+	// RefreshedAt and Took time the refresh.
+	RefreshedAt time.Time
+	Took        time.Duration
+}
+
+// ErrStoreTooSmall is returned by Refresh when the snapshot has fewer
+// rows than LiveConfig.MinRows.
+var ErrStoreTooSmall = errors.New("core: store snapshot below refresh threshold")
+
+// NewLive wires a live serving loop over a store. The hierarchy is shared
+// by every refreshed engine.
+func NewLive(st *store.Store, hier *geo.Hierarchy, cfg LiveConfig) (*Live, error) {
+	if st == nil {
+		return nil, errors.New("core: live needs a store")
+	}
+	if hier == nil {
+		return nil, errors.New("core: live needs an administrative hierarchy")
+	}
+	// A wholly unconfigured tier takes the library default (Parallelism
+	// survives); a partially configured one is used as-is.
+	if cfg.Analysis.KMax == 0 && len(cfg.Analysis.Attributes) == 0 {
+		par := cfg.Analysis.Parallelism
+		cfg.Analysis = DefaultAnalysisConfig()
+		cfg.Analysis.Parallelism = par
+	}
+	if len(cfg.Preprocess.OutlierAttrs) == 0 && cfg.Preprocess.Univariate.Method == "" {
+		par := cfg.Preprocess.Parallelism
+		cfg.Preprocess = DefaultPreprocessConfig()
+		cfg.Preprocess.Parallelism = par
+	}
+	if cfg.MinRows <= 0 {
+		cfg.MinRows = cfg.Analysis.KMax * 5
+		if cfg.MinRows < 50 {
+			cfg.MinRows = 50
+		}
+	}
+	return &Live{store: st, hier: hier, cfg: cfg, refreshNow: make(chan struct{}, 1)}, nil
+}
+
+// Store returns the underlying live store (the ingestion target).
+func (l *Live) Store() *store.Store { return l.store }
+
+// Current returns the last published state, or nil before the first
+// successful refresh. The returned state is immutable; successive calls
+// may return different pointers as refreshes publish.
+func (l *Live) Current() *Published { return l.cur.Load() }
+
+// Refreshing reports whether a refresh is in flight.
+func (l *Live) Refreshing() bool { return l.inFlight.Load() }
+
+// Refreshes returns the number of successful refreshes.
+func (l *Live) Refreshes() uint64 { return l.refreshes.Load() }
+
+// LastError returns the most recent refresh failure and its time, or
+// ("", zero) when the last refresh succeeded.
+func (l *Live) LastError() (string, time.Time) {
+	if p := l.lastErr.Load(); p != nil {
+		return *p, time.Unix(0, l.lastErrAt.Load())
+	}
+	return "", time.Time{}
+}
+
+// Refresh snapshots the store, runs Preprocess + Analyze on the frozen
+// table and atomically publishes the result. Concurrent calls serialize,
+// and a call finding the store unchanged since the last publication
+// (the store is append-only, so an equal row count means no new data)
+// returns that publication without re-running the pipeline — a stampede
+// of refresh requests costs one analysis, not one per caller. On failure
+// the previously published state keeps serving.
+func (l *Live) Refresh() (*Published, error) {
+	l.refreshMu.Lock()
+	defer l.refreshMu.Unlock()
+	if pub := l.cur.Load(); pub != nil && l.store.Rows() == pub.Rows {
+		return pub, nil
+	}
+	l.inFlight.Store(true)
+	defer l.inFlight.Store(false)
+
+	pub, err := l.refreshLocked()
+	if err != nil {
+		msg := err.Error()
+		l.lastErr.Store(&msg)
+		l.lastErrAt.Store(time.Now().UnixNano())
+		return nil, err
+	}
+	l.lastErr.Store(nil)
+	l.cur.Store(pub)
+	l.refreshes.Add(1)
+	return pub, nil
+}
+
+func (l *Live) refreshLocked() (*Published, error) {
+	start := time.Now()
+	// Gate on the live row count before paying for a snapshot, then
+	// re-check the frozen count (a concurrent ingest may still race the
+	// first read upward, never downward — the store is append-only).
+	if rows := l.store.Rows(); rows < l.cfg.MinRows {
+		return nil, fmt.Errorf("%w: %d rows, need %d", ErrStoreTooSmall, rows, l.cfg.MinRows)
+	}
+	snap := l.store.Snapshot()
+	if snap.NumRows() < l.cfg.MinRows {
+		return nil, fmt.Errorf("%w: %d rows, need %d", ErrStoreTooSmall, snap.NumRows(), l.cfg.MinRows)
+	}
+	tab, err := snap.Table()
+	if err != nil {
+		return nil, fmt.Errorf("core: refresh: %w", err)
+	}
+	// The snapshot's materialized table is cached and shared; the engine
+	// owns its working copy.
+	eng, err := NewEngine(tab.Clone(), l.hier, l.cfg.Options)
+	if err != nil {
+		return nil, fmt.Errorf("core: refresh: %w", err)
+	}
+	rep, err := eng.Preprocess(l.cfg.Preprocess)
+	if err != nil {
+		return nil, fmt.Errorf("core: refresh: %w", err)
+	}
+	var an *Analysis
+	if !l.cfg.SkipAnalysis {
+		an, err = eng.Analyze(l.cfg.Analysis)
+		if err != nil {
+			return nil, fmt.Errorf("core: refresh: %w", err)
+		}
+	}
+	return &Published{
+		Epoch:       snap.Epoch(),
+		Rows:        snap.NumRows(),
+		Engine:      eng,
+		Analysis:    an,
+		Report:      rep,
+		RefreshedAt: time.Now(),
+		Took:        time.Since(start),
+	}, nil
+}
+
+// RefreshAsync requests a refresh from the AutoRefresh loop without
+// blocking; a no-op if one is already queued. Without a running
+// AutoRefresh loop the request fires when one starts.
+func (l *Live) RefreshAsync() {
+	select {
+	case l.refreshNow <- struct{}{}:
+	default:
+	}
+}
+
+// AutoRefresh runs refreshes in a background goroutine's loop: every
+// interval tick (if positive) and on every RefreshAsync request, until
+// the context is cancelled. Refresh errors are recorded (LastError) and
+// do not stop the loop.
+func (l *Live) AutoRefresh(ctx context.Context, interval time.Duration) {
+	var tick <-chan time.Time
+	if interval > 0 {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick:
+		case <-l.refreshNow:
+		}
+		_, _ = l.Refresh() // error recorded via LastError
+	}
+}

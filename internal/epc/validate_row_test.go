@@ -1,0 +1,84 @@
+package epc
+
+import (
+	"testing"
+
+	"indice/internal/table"
+)
+
+func TestTableSchema(t *testing.T) {
+	fields := TableSchema()
+	if len(fields) != 132 {
+		t.Fatalf("fields = %d, want 132", len(fields))
+	}
+	byName := make(map[string]table.Type, len(fields))
+	for _, f := range fields {
+		byName[f.Name] = f.Type
+	}
+	if byName[AttrEPH] != table.Float64 {
+		t.Fatalf("%s type = %v", AttrEPH, byName[AttrEPH])
+	}
+	if byName[AttrEnergyClass] != table.String {
+		t.Fatalf("%s type = %v", AttrEnergyClass, byName[AttrEnergyClass])
+	}
+	// A table built from the schema round-trips through ValidateTable with
+	// no missing-column issues.
+	tab, err := table.NewWithSchema(fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, issue := range ValidateTable(tab) {
+		t.Errorf("schema-built table has issue: %v", issue)
+	}
+}
+
+func TestRowValidator(t *testing.T) {
+	tab := table.New()
+	if err := tab.AddFloats(AttrEPH, []float64{120, 9000, 80}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddStringsValid(AttrEnergyClass,
+		[]string{"D", "Z", ""},
+		[]bool{true, true, false}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddStrings(AttrAddress, []string{"via roma", "x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	v := NewRowValidator(tab)
+
+	if issues := v.Validate(0); len(issues) != 0 {
+		t.Fatalf("row 0 issues = %v", issues)
+	}
+	issues := v.Validate(1)
+	if len(issues) != 2 {
+		t.Fatalf("row 1 issues = %v", issues)
+	}
+	seen := map[string]bool{}
+	for _, is := range issues {
+		seen[is.Attr] = true
+	}
+	if !seen[AttrEPH] || !seen[AttrEnergyClass] {
+		t.Fatalf("row 1 issues = %v", issues)
+	}
+	// Missing cells are exempt.
+	if issues := v.Validate(2); len(issues) != 0 {
+		t.Fatalf("row 2 issues = %v", issues)
+	}
+	// Out-of-range rows are quietly inadmissible-free (callers bound rows).
+	if issues := v.Validate(99); len(issues) != 0 {
+		t.Fatalf("row 99 issues = %v", issues)
+	}
+}
+
+func TestRowValidatorSkipsWrongType(t *testing.T) {
+	tab := table.New()
+	// eph with the wrong type must be skipped, not panic.
+	if err := tab.AddStrings(AttrEPH, []string{"not-a-number"}); err != nil {
+		t.Fatal(err)
+	}
+	v := NewRowValidator(tab)
+	if issues := v.Validate(0); len(issues) != 0 {
+		t.Fatalf("issues = %v", issues)
+	}
+}

@@ -4,13 +4,25 @@
 // links, and every map/panel is regenerated server-side from the current
 // engine state. JSON endpoints expose the aggregates for programmatic
 // clients.
+//
+// The server runs in one of two modes. Static mode (New) serves one
+// frozen engine+analysis, the paper's batch workflow. Live mode (NewLive)
+// serves from a core.Live loop over a streaming store: every request
+// reads the last atomically published snapshot state, POST /api/ingest
+// appends certificates (JSON records, typed CSV or binary batches),
+// POST /api/refresh re-runs the pipeline, and GET /api/store reports the
+// store shape. All routes enforce request methods and bounded bodies.
 package server
 
 import (
+	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html"
+	"io"
 	"math"
+	"mime"
 	"net/http"
 	"sort"
 	"strings"
@@ -22,36 +34,109 @@ import (
 	"indice/internal/geo"
 	"indice/internal/query"
 	"indice/internal/stats"
+	"indice/internal/store"
 )
 
-// Server serves the dashboards of one engine. The engine is treated as
-// read-only after construction; run Preprocess/Analyze before wiring it.
+// maxIngestBody bounds POST /api/ingest bodies (batches); maxSmallBody
+// bounds everything else (queries carry no meaningful body).
+const (
+	maxIngestBody int64 = 64 << 20
+	maxSmallBody  int64 = 1 << 20
+)
+
+// Server serves the dashboards of one engine (static mode) or of a live
+// ingestion loop (live mode).
 type Server struct {
-	eng *core.Engine
-	an  *core.Analysis
-	mux *http.ServeMux
+	eng  *core.Engine
+	an   *core.Analysis
+	live *core.Live
+	mux  *http.ServeMux
 }
 
-// New builds a Server. The analysis may be nil; analytic routes then
-// return 404.
+// New builds a static Server over a preprocessed engine. The engine is
+// treated as read-only; the analysis may be nil (analytic routes then
+// return 404).
 func New(eng *core.Engine, an *core.Analysis) (*Server, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("server: nil engine")
 	}
-	s := &Server{eng: eng, an: an, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/", s.handleIndex)
-	s.mux.HandleFunc("/dashboard/", s.handleDashboard)
-	s.mux.HandleFunc("/map", s.handleMap)
-	s.mux.HandleFunc("/api/stats", s.handleStats)
-	s.mux.HandleFunc("/api/zones", s.handleZones)
-	s.mux.HandleFunc("/api/rules", s.handleRules)
-	s.mux.HandleFunc("/api/clusters", s.handleClusters)
+	s := &Server{eng: eng, an: an}
+	s.routes()
 	return s, nil
+}
+
+// NewLive builds a Server over a live ingestion loop. Requests serve from
+// live.Current(); until the first successful refresh publishes a state,
+// data routes answer 503 while ingestion and store routes work.
+func NewLive(live *core.Live) (*Server, error) {
+	if live == nil {
+		return nil, fmt.Errorf("server: nil live loop")
+	}
+	s := &Server{live: live}
+	s.routes()
+	return s, nil
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.handle("/", http.MethodGet, maxSmallBody, s.handleIndex)
+	s.handle("/dashboard/", http.MethodGet, maxSmallBody, s.handleDashboard)
+	s.handle("/map", http.MethodGet, maxSmallBody, s.handleMap)
+	s.handle("/api/stats", http.MethodGet, maxSmallBody, s.handleStats)
+	s.handle("/api/zones", http.MethodGet, maxSmallBody, s.handleZones)
+	s.handle("/api/rules", http.MethodGet, maxSmallBody, s.handleRules)
+	s.handle("/api/clusters", http.MethodGet, maxSmallBody, s.handleClusters)
+	s.handle("/api/store", http.MethodGet, maxSmallBody, s.handleStore)
+	s.handle("/api/ingest", http.MethodPost, maxIngestBody, s.handleIngest)
+	s.handle("/api/refresh", http.MethodPost, maxSmallBody, s.handleRefresh)
+}
+
+// handle registers a route enforcing the request method (HEAD rides along
+// with GET) and bounding the request body.
+func (s *Server) handle(pattern, method string, maxBody int64, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method && !(method == http.MethodGet && r.Method == http.MethodHead) {
+			w.Header().Set("Allow", method)
+			http.Error(w, fmt.Sprintf("method %s not allowed", r.Method), http.StatusMethodNotAllowed)
+			return
+		}
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+		}
+		h(w, r)
+	})
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// errNotPublished marks live mode before the first successful refresh.
+var errNotPublished = errors.New("no analysis published yet: ingest data and refresh")
+
+// state resolves the engine and analysis serving this request: the frozen
+// pair in static mode, the last published pair in live mode.
+func (s *Server) state() (*core.Engine, *core.Analysis, error) {
+	if s.live == nil {
+		return s.eng, s.an, nil
+	}
+	pub := s.live.Current()
+	if pub == nil {
+		return nil, nil, errNotPublished
+	}
+	return pub.Engine, pub.Analysis, nil
+}
+
+// serveState is state() plus the uniform 503 answer for unpublished live
+// servers; handlers bail out when it returns nil.
+func (s *Server) serveState(w http.ResponseWriter) (*core.Engine, *core.Analysis, bool) {
+	eng, an, err := s.state()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return nil, nil, false
+	}
+	return eng, an, true
 }
 
 // handleIndex lists the navigable views.
@@ -63,7 +148,16 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
 	b.WriteString("<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>INDICE</title></head><body>")
 	b.WriteString("<h1>INDICE</h1>")
-	fmt.Fprintf(&b, "<p>%d certificates loaded.</p>", s.eng.Table().NumRows())
+	if eng, _, err := s.state(); err == nil {
+		fmt.Fprintf(&b, "<p>%d certificates loaded.</p>", eng.Table().NumRows())
+	} else {
+		fmt.Fprintf(&b, "<p>%s</p>", html.EscapeString(err.Error()))
+	}
+	if s.live != nil {
+		st := s.live.Store().Status()
+		fmt.Fprintf(&b, "<p>live store: %d rows over %d shards (epoch %d).</p>",
+			st.Rows, len(st.Shards), st.Epoch)
+	}
 	b.WriteString("<h2>Dashboards</h2><ul>")
 	for _, st := range []query.Stakeholder{query.Citizen, query.PublicAdministration, query.EnergyScientist} {
 		fmt.Fprintf(&b, `<li><a href="/dashboard/%s">%s</a></li>`, st, st)
@@ -73,12 +167,16 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, `<li><a href="/map?level=%s&attr=%s">%s zoom</a></li>`, l, epc.AttrEPH, l)
 	}
 	b.WriteString("</ul><h2>APIs</h2><ul>")
-	for _, api := range []string{
+	apis := []string{
 		"/api/stats?attr=" + epc.AttrEPH,
 		"/api/zones?level=district&attr=" + epc.AttrEPH,
 		"/api/rules?k=10",
 		"/api/clusters",
-	} {
+	}
+	if s.live != nil {
+		apis = append(apis, "/api/store")
+	}
+	for _, api := range apis {
 		fmt.Fprintf(&b, `<li><a href="%s">%s</a></li>`, api, html.EscapeString(api))
 	}
 	b.WriteString("</ul></body></html>")
@@ -88,13 +186,17 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 
 // handleDashboard renders a full stakeholder dashboard.
 func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	eng, an, ok := s.serveState(w)
+	if !ok {
+		return
+	}
 	name := strings.TrimPrefix(r.URL.Path, "/dashboard/")
 	st, err := query.ParseStakeholder(name)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
-	page, err := s.eng.Dashboard(st, s.an)
+	page, err := eng.Dashboard(st, an)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -107,6 +209,10 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 // SVG is wrapped in a small HTML page with drill links so the user can
 // navigate zoom levels, the paper's core interaction.
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	eng, _, ok := s.serveState(w)
+	if !ok {
+		return
+	}
 	levelName := r.URL.Query().Get("level")
 	if levelName == "" {
 		levelName = "city"
@@ -120,11 +226,11 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	if attr == "" {
 		attr = epc.AttrEPH
 	}
-	if typ, err := s.eng.Table().TypeOf(attr); err != nil || typ.String() != "float64" {
+	if typ, err := eng.Table().TypeOf(attr); err != nil || typ.String() != "float64" {
 		http.Error(w, fmt.Sprintf("unknown numeric attribute %q", attr), http.StatusBadRequest)
 		return
 	}
-	svg, kind, err := dashboard.RenderMap(s.eng.Table(), s.eng.Hierarchy(), dashboard.MapSpec{
+	svg, kind, err := dashboard.RenderMap(eng.Table(), eng.Hierarchy(), dashboard.MapSpec{
 		Title: fmt.Sprintf("Average %s — %s zoom", attr, level),
 		Level: level,
 		Attr:  attr,
@@ -177,12 +283,16 @@ type statsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	eng, _, ok := s.serveState(w)
+	if !ok {
+		return
+	}
 	attr := r.URL.Query().Get("attr")
 	if attr == "" {
 		http.Error(w, "attr query parameter required", http.StatusBadRequest)
 		return
 	}
-	vals, err := s.eng.Table().ValidFloats(attr)
+	vals, err := eng.Table().ValidFloats(attr)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -207,6 +317,10 @@ type zoneResponse struct {
 }
 
 func (s *Server) handleZones(w http.ResponseWriter, r *http.Request) {
+	eng, _, ok := s.serveState(w)
+	if !ok {
+		return
+	}
 	levelName := r.URL.Query().Get("level")
 	if levelName == "" {
 		levelName = "district"
@@ -220,7 +334,7 @@ func (s *Server) handleZones(w http.ResponseWriter, r *http.Request) {
 	if attr == "" {
 		attr = epc.AttrEPH
 	}
-	zs, err := dashboard.AggregateByZone(s.eng.Table(), s.eng.Hierarchy(), level, attr)
+	zs, err := dashboard.AggregateByZone(eng.Table(), eng.Hierarchy(), level, attr)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -249,7 +363,11 @@ type ruleResponse struct {
 }
 
 func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
-	if s.an == nil {
+	_, an, ok := s.serveState(w)
+	if !ok {
+		return
+	}
+	if an == nil {
 		http.Error(w, "analysis not available", http.StatusNotFound)
 		return
 	}
@@ -260,7 +378,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	top := assoc.TopK(s.an.Rules, assoc.ByLift, k)
+	top := assoc.TopK(an.Rules, assoc.ByLift, k)
 	out := make([]ruleResponse, 0, len(top))
 	for _, rule := range top {
 		out = append(out, ruleResponse{
@@ -282,23 +400,243 @@ type clusterResponse struct {
 }
 
 func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
-	if s.an == nil || s.an.Clustering == nil {
+	_, an, ok := s.serveState(w)
+	if !ok {
+		return
+	}
+	if an == nil || an.Clustering == nil {
 		http.Error(w, "analysis not available", http.StatusNotFound)
 		return
 	}
-	out := make([]clusterResponse, s.an.ChosenK)
-	for c := 0; c < s.an.ChosenK; c++ {
-		mean := s.an.ClusterResponseMeans[c]
+	out := make([]clusterResponse, an.ChosenK)
+	for c := 0; c < an.ChosenK; c++ {
+		mean := an.ClusterResponseMeans[c]
 		if math.IsNaN(mean) {
 			mean = 0
 		}
 		out[c] = clusterResponse{
 			Cluster:      c,
-			Size:         s.an.Clustering.Sizes[c],
+			Size:         an.Clustering.Sizes[c],
 			MeanResponse: mean,
 		}
 	}
 	writeJSON(w, out)
+}
+
+// ingestResponse is the JSON shape of POST /api/ingest.
+type ingestResponse struct {
+	Accepted int      `json:"accepted"`
+	Rejected int      `json:"rejected"`
+	Issues   []string `json:"issues,omitempty"`
+	Rows     int      `json:"rows"`
+}
+
+// handleIngest appends certificates to the live store. The body format
+// follows the Content-Type: application/json carries one record object or
+// an array of them, text/csv a typed-CSV batch, application/octet-stream
+// a binary columnar batch.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.live == nil {
+		http.Error(w, "ingestion requires live mode", http.StatusNotFound)
+		return
+	}
+	st := s.live.Store()
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil {
+		ct = mt
+	}
+	var (
+		res store.IngestResult
+		err error
+	)
+	switch ct {
+	case "application/json", "":
+		recs, derr := decodeRecords(r.Body)
+		if derr != nil {
+			http.Error(w, fmt.Sprintf("bad JSON body: %v", derr), badBodyStatus(derr))
+			return
+		}
+		res, err = st.AppendRecords(recs)
+	case "text/csv":
+		res, err = st.AppendCSV(r.Body)
+	case "application/octet-stream":
+		res, err = st.AppendBinary(r.Body)
+	default:
+		http.Error(w, fmt.Sprintf("unsupported Content-Type %q (want application/json, text/csv or application/octet-stream)", ct),
+			http.StatusUnsupportedMediaType)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), badBodyStatus(err))
+		return
+	}
+	writeJSON(w, ingestResponse{
+		Accepted: res.Accepted,
+		Rejected: res.Rejected,
+		Issues:   res.Issues,
+		Rows:     st.Rows(),
+	})
+}
+
+// decodeRecords parses an ingest body holding either one record object or
+// an array of records, streaming straight off the (size-limited) body.
+// Numbers decode as json.Number so values keep full precision until the
+// store coerces them; trailing data after the JSON value is an error (a
+// concatenated or newline-delimited stream would otherwise be silently
+// truncated to its first document).
+func decodeRecords(r io.Reader) ([]store.Record, error) {
+	br := bufio.NewReader(r)
+	var first byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if b == ' ' || b == '\t' || b == '\n' || b == '\r' {
+			continue
+		}
+		first = b
+		if err := br.UnreadByte(); err != nil {
+			return nil, err
+		}
+		break
+	}
+	dec := json.NewDecoder(br)
+	dec.UseNumber()
+	var recs []store.Record
+	if first == '[' {
+		if err := dec.Decode(&recs); err != nil {
+			return nil, err
+		}
+	} else {
+		var one store.Record
+		if err := dec.Decode(&one); err != nil {
+			return nil, err
+		}
+		recs = []store.Record{one}
+	}
+	if dec.More() {
+		return nil, errors.New("trailing data after JSON value (send one object or one array per request)")
+	}
+	return recs, nil
+}
+
+// badBodyStatus maps body-read failures to 413 when the MaxBytesReader
+// tripped and 400 otherwise.
+func badBodyStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// storeResponse is the JSON shape of GET /api/store.
+type storeResponse struct {
+	store.Status
+	Published  *publishedInfo `json:"published,omitempty"`
+	Refreshing bool           `json:"refreshing"`
+	Refreshes  uint64         `json:"refreshes"`
+	LastError  string         `json:"last_error,omitempty"`
+	// LiveStats (?attr=) and LiveCounts (?by=) read the store's
+	// incrementally maintained summaries: the up-to-the-last-append view,
+	// ahead of the published analysis the other APIs serve.
+	LiveStats  *liveStatsInfo `json:"live_stats,omitempty"`
+	LiveCounts map[string]int `json:"live_counts,omitempty"`
+}
+
+type liveStatsInfo struct {
+	Attr   string  `json:"attr"`
+	Count  int     `json:"count"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+type publishedInfo struct {
+	Epoch       uint64  `json:"epoch"`
+	Rows        int     `json:"rows"`
+	ServingRows int     `json:"serving_rows"`
+	RefreshedAt string  `json:"refreshed_at"`
+	TookSeconds float64 `json:"took_seconds"`
+}
+
+func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
+	if s.live == nil {
+		http.Error(w, "no live store (static server)", http.StatusNotFound)
+		return
+	}
+	st := s.live.Store()
+	resp := storeResponse{
+		Status:     st.Status(),
+		Refreshing: s.live.Refreshing(),
+		Refreshes:  s.live.Refreshes(),
+	}
+	if attr := r.URL.Query().Get("attr"); attr != "" {
+		rs, ok := st.RunningStats(attr)
+		if !ok {
+			http.Error(w, fmt.Sprintf("attribute %q has no tracked statistics", attr), http.StatusBadRequest)
+			return
+		}
+		resp.LiveStats = &liveStatsInfo{
+			Attr: attr, Count: rs.Count, Mean: rs.Mean, StdDev: rs.StdDev(),
+			Min: rs.Min, Max: rs.Max,
+		}
+	}
+	if by := r.URL.Query().Get("by"); by != "" {
+		counts, ok := st.CountBy(by)
+		if !ok {
+			http.Error(w, fmt.Sprintf("attribute %q is not indexed", by), http.StatusBadRequest)
+			return
+		}
+		resp.LiveCounts = counts
+	}
+	if msg, _ := s.live.LastError(); msg != "" {
+		resp.LastError = msg
+	}
+	if pub := s.live.Current(); pub != nil {
+		resp.Published = &publishedInfo{
+			Epoch:       pub.Epoch,
+			Rows:        pub.Rows,
+			ServingRows: pub.Engine.Table().NumRows(),
+			RefreshedAt: pub.RefreshedAt.UTC().Format("2006-01-02T15:04:05Z"),
+			TookSeconds: pub.Took.Seconds(),
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// refreshResponse is the JSON shape of POST /api/refresh.
+type refreshResponse struct {
+	Epoch       uint64  `json:"epoch"`
+	Rows        int     `json:"rows"`
+	ServingRows int     `json:"serving_rows"`
+	TookSeconds float64 `json:"took_seconds"`
+}
+
+// handleRefresh synchronously re-runs the pipeline over a fresh snapshot
+// and publishes the result.
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if s.live == nil {
+		http.Error(w, "refresh requires live mode", http.StatusNotFound)
+		return
+	}
+	pub, err := s.live.Refresh()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, core.ErrStoreTooSmall) {
+			status = http.StatusConflict
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, refreshResponse{
+		Epoch:       pub.Epoch,
+		Rows:        pub.Rows,
+		ServingRows: pub.Engine.Table().NumRows(),
+		TookSeconds: pub.Took.Seconds(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,0 +1,71 @@
+package stats
+
+import "math"
+
+// Running accumulates streaming summary statistics with Welford's
+// algorithm, so the live store can keep per-shard per-attribute summaries
+// up to date on every append without rescanning columns. Two accumulators
+// merge exactly (Chan et al.'s parallel variance update), which is how
+// shard-local summaries fold into store-wide ones.
+type Running struct {
+	Count    int
+	Mean     float64
+	M2       float64
+	Min, Max float64
+}
+
+// Add folds one observation into the accumulator. NaN observations are
+// ignored (they encode missing cells).
+func (r *Running) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	if r.Count == 0 {
+		r.Min, r.Max = x, x
+	} else {
+		if x < r.Min {
+			r.Min = x
+		}
+		if x > r.Max {
+			r.Max = x
+		}
+	}
+	r.Count++
+	delta := x - r.Mean
+	r.Mean += delta / float64(r.Count)
+	r.M2 += delta * (x - r.Mean)
+}
+
+// Merge folds another accumulator into r.
+func (r *Running) Merge(o Running) {
+	if o.Count == 0 {
+		return
+	}
+	if r.Count == 0 {
+		*r = o
+		return
+	}
+	if o.Min < r.Min {
+		r.Min = o.Min
+	}
+	if o.Max > r.Max {
+		r.Max = o.Max
+	}
+	n := r.Count + o.Count
+	delta := o.Mean - r.Mean
+	r.Mean += delta * float64(o.Count) / float64(n)
+	r.M2 += o.M2 + delta*delta*float64(r.Count)*float64(o.Count)/float64(n)
+	r.Count = n
+}
+
+// Variance returns the sample variance (n-1 denominator), or 0 for fewer
+// than two observations.
+func (r Running) Variance() float64 {
+	if r.Count < 2 {
+		return 0
+	}
+	return r.M2 / float64(r.Count-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r Running) StdDev() float64 { return math.Sqrt(r.Variance()) }

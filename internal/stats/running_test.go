@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRunningMatchesDescribe(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 500)
+	var r Running
+	for i := range vals {
+		vals[i] = rng.NormFloat64()*12 + 80
+		r.Add(vals[i])
+	}
+	d, err := Describe(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count != d.Count {
+		t.Fatalf("count = %d, want %d", r.Count, d.Count)
+	}
+	for name, pair := range map[string][2]float64{
+		"mean":   {r.Mean, d.Mean},
+		"stddev": {r.StdDev(), d.StdDev},
+		"min":    {r.Min, d.Min},
+		"max":    {r.Max, d.Max},
+	} {
+		if math.Abs(pair[0]-pair[1]) > 1e-9 {
+			t.Errorf("%s = %v, want %v", name, pair[0], pair[1])
+		}
+	}
+}
+
+func TestRunningMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var whole Running
+	parts := make([]Running, 4)
+	for i := 0; i < 1000; i++ {
+		x := rng.ExpFloat64() * 50
+		whole.Add(x)
+		parts[i%len(parts)].Add(x)
+	}
+	var merged Running
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Count != whole.Count {
+		t.Fatalf("count = %d, want %d", merged.Count, whole.Count)
+	}
+	if math.Abs(merged.Mean-whole.Mean) > 1e-9 ||
+		math.Abs(merged.StdDev()-whole.StdDev()) > 1e-9 ||
+		merged.Min != whole.Min || merged.Max != whole.Max {
+		t.Fatalf("merged = %+v, whole = %+v", merged, whole)
+	}
+}
+
+func TestRunningEdgeCases(t *testing.T) {
+	var r Running
+	if r.StdDev() != 0 || r.Variance() != 0 {
+		t.Fatal("empty accumulator must report zero spread")
+	}
+	r.Add(math.NaN())
+	if r.Count != 0 {
+		t.Fatal("NaN must be ignored")
+	}
+	r.Add(3)
+	if r.Count != 1 || r.Mean != 3 || r.Min != 3 || r.Max != 3 || r.StdDev() != 0 {
+		t.Fatalf("single value: %+v", r)
+	}
+	var empty Running
+	r.Merge(empty)
+	if r.Count != 1 {
+		t.Fatal("merging empty changed the accumulator")
+	}
+	empty.Merge(r)
+	if empty.Count != 1 || empty.Mean != 3 {
+		t.Fatalf("merge into empty: %+v", empty)
+	}
+}

@@ -1,0 +1,149 @@
+package store
+
+import (
+	"sync"
+
+	"indice/internal/stats"
+	"indice/internal/table"
+)
+
+// Snapshot is a frozen, consistent view of the store at one epoch.
+// Snapshots share the store's sealed segments (immutable once sealed, so
+// sharing is free) and privately copy only each shard's bounded mutable
+// tail — taking one is O(shards × SegmentRows) worst case, not O(rows).
+// A snapshot never changes after creation — ingestion continuing in the
+// store is invisible to it — and never observes a partially applied
+// batch.
+type Snapshot struct {
+	epoch  uint64
+	rows   int
+	schema []table.Field
+	// segs[i] lists shard i's sealed segments at snapshot time.
+	segs [][]*table.Table
+	// index[i] holds shard i's secondary-index headers at snapshot time.
+	// The slices are append-only on the store side, so sharing the
+	// headers is safe: a later append grows the store's copy, never the
+	// rows this header can see.
+	index []map[string]map[string][]int
+	// stats holds the merged per-attribute summaries.
+	stats map[string]stats.Running
+
+	matOnce sync.Once
+	mat     *table.Table
+	matErr  error
+}
+
+// Snapshot freezes the current store contents under a new epoch: each
+// shard's sealed segments are shared as-is (they never change) and its
+// mutable tail is copied into a snapshot-private segment, so repeated
+// snapshots of a slowly growing store never fragment the shard itself.
+// Concurrent appends are excluded for the duration, so the snapshot is
+// batch-atomic.
+func (s *Store) Snapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	snap := &Snapshot{
+		epoch:  s.epoch.Add(1),
+		schema: s.schema,
+		segs:   make([][]*table.Table, len(s.shards)),
+		index:  make([]map[string]map[string][]int, len(s.shards)),
+		stats:  make(map[string]stats.Running, len(s.cfg.StatsAttrs)),
+	}
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		segs := make([]*table.Table, 0, len(sh.sealed)+1)
+		for _, seg := range sh.sealed {
+			segs = append(segs, seg.tab)
+		}
+		if sh.tail.NumRows() > 0 {
+			segs = append(segs, sh.tail.Clone())
+		}
+		snap.segs[i] = segs
+		snap.rows += sh.rows
+
+		idx := make(map[string]map[string][]int, len(sh.index))
+		for attr, byVal := range sh.index {
+			vals := make(map[string][]int, len(byVal))
+			for v, ids := range byVal {
+				vals[v] = ids[:len(ids):len(ids)]
+			}
+			idx[attr] = vals
+		}
+		snap.index[i] = idx
+
+		for attr, acc := range sh.stats {
+			merged := snap.stats[attr]
+			merged.Merge(*acc)
+			snap.stats[attr] = merged
+		}
+		sh.mu.Unlock()
+	}
+	return snap
+}
+
+// Epoch returns the snapshot's epoch number.
+func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
+
+// NumRows returns the total row count of the snapshot.
+func (sn *Snapshot) NumRows() int { return sn.rows }
+
+// NumShards returns the shard count.
+func (sn *Snapshot) NumShards() int { return len(sn.segs) }
+
+// Schema returns the column layout (shared slice; do not modify).
+func (sn *Snapshot) Schema() []table.Field { return sn.schema }
+
+// ShardSegments returns shard i's immutable segments. Readers may iterate
+// them freely; they are shared with the store and other snapshots.
+func (sn *Snapshot) ShardSegments(i int) []*table.Table { return sn.segs[i] }
+
+// Stats returns the merged summary statistics of a tracked numeric
+// attribute. The second return value is false for untracked attributes.
+func (sn *Snapshot) Stats(attr string) (stats.Running, bool) {
+	r, ok := sn.stats[attr]
+	return r, ok
+}
+
+// CountBy returns the per-value row counts of an indexed categorical
+// attribute, merged across shards. The second return value is false for
+// unindexed attributes.
+func (sn *Snapshot) CountBy(attr string) (map[string]int, bool) {
+	if len(sn.index) == 0 {
+		return nil, false
+	}
+	if _, ok := sn.index[0][attr]; !ok {
+		return nil, false
+	}
+	out := make(map[string]int)
+	for _, idx := range sn.index {
+		for v, ids := range idx[attr] {
+			out[v] += len(ids)
+		}
+	}
+	return out, true
+}
+
+// Table materializes the snapshot as one contiguous table (shard order,
+// segment order within each shard). The result is built once and cached;
+// it is a fresh copy, safe to hand to the analytics engine, but shared
+// between callers — treat it as read-only or Clone it.
+func (sn *Snapshot) Table() (*table.Table, error) {
+	sn.matOnce.Do(func() {
+		out, err := table.NewWithSchema(sn.schema)
+		if err != nil {
+			sn.matErr = err
+			return
+		}
+		for _, segs := range sn.segs {
+			for _, seg := range segs {
+				if err := out.AppendTable(seg); err != nil {
+					sn.matErr = err
+					return
+				}
+			}
+		}
+		sn.mat = out
+	})
+	return sn.mat, sn.matErr
+}

@@ -1,0 +1,507 @@
+// Package store implements the live EPC store: a sharded, columnar,
+// append-only table that accepts streaming ingestion (single records,
+// typed-CSV and binary batches) while serving readers through epoch-based
+// copy-on-write snapshots.
+//
+// Layout. Rows are hashed over a fixed set of shards by certificate
+// identifier. Each shard accumulates appends into a mutable columnar tail
+// and seals the tail into an immutable segment when it reaches the
+// segment bound; sealed segments are never modified again, so snapshots
+// share them with writers at zero copy cost. Alongside the raw columns
+// every shard maintains secondary indexes over configured categorical
+// attributes (zones, energy class) and Welford summary statistics over
+// the numeric attributes, both updated incrementally on append.
+//
+// Consistency. Appends — single records and whole batches — run under a
+// store-level read lock with per-shard mutexes, so writers on different
+// shards proceed in parallel. Snapshot takes the store-level write lock
+// and captures the segment lists (plus a private copy of each bounded
+// tail), index headers and statistics under a new epoch. A snapshot
+// therefore always observes either all rows of a batch or none of them,
+// and stays immutable while ingestion continues.
+//
+//	st, _ := store.New(store.DefaultConfig())
+//	st.AppendTable(batch)
+//	snap := st.Snapshot()        // frozen, consistent view
+//	tab := snap.Table()          // materialized for the analytics engine
+package store
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"indice/internal/epc"
+	"indice/internal/stats"
+	"indice/internal/table"
+)
+
+// Config parameterizes a Store.
+type Config struct {
+	// Shards is the number of shards rows are hashed over (default 4).
+	Shards int
+	// SegmentRows caps the mutable tail; a tail reaching this size is
+	// sealed into an immutable segment (default 8192). Snapshots also seal
+	// tails regardless of size.
+	SegmentRows int
+	// Schema fixes the column layout. Batches must match it exactly;
+	// records are projected onto it. Default: the canonical EPC schema.
+	Schema []table.Field
+	// KeyAttr names the categorical column whose hash routes a row to its
+	// shard (default certificate_id). Rows with a missing key, or schemas
+	// without the column, fall back to round-robin placement.
+	KeyAttr string
+	// IndexAttrs are the categorical attributes indexed per shard
+	// (default: district, neighbourhood, energy_class — the zone and
+	// class lookups the dashboards aggregate on).
+	IndexAttrs []string
+	// StatsAttrs are the numeric attributes with incrementally maintained
+	// summary statistics (default: every numeric column of the schema).
+	StatsAttrs []string
+	// Validate screens every ingested row against the EPC attribute
+	// specs (ranges, admissible levels) and rejects violating rows.
+	Validate bool
+}
+
+// DefaultConfig returns the production configuration over the canonical
+// EPC schema.
+func DefaultConfig() Config {
+	return Config{
+		Shards:      4,
+		SegmentRows: 8192,
+		Schema:      epc.TableSchema(),
+		KeyAttr:     epc.AttrCertificateID,
+		IndexAttrs:  []string{epc.AttrDistrict, epc.AttrNeighbourhood, epc.AttrEnergyClass},
+		StatsAttrs:  nil, // resolved to all numeric columns by New
+	}
+}
+
+// segment is one immutable sealed chunk of a shard.
+type segment struct {
+	tab *table.Table
+}
+
+// shard holds one hash partition of the store.
+type shard struct {
+	mu     sync.Mutex
+	sealed []*segment
+	tail   *table.Table
+	rows   int
+	// index maps attr -> value -> shard-local row ordinals (ascending).
+	index map[string]map[string][]int
+	// stats maps numeric attr -> running summary over all shard rows.
+	stats map[string]*stats.Running
+}
+
+// Store is the live sharded EPC store.
+type Store struct {
+	cfg    Config
+	schema []table.Field
+
+	// mu orders appends against snapshots: appends hold the read side
+	// (concurrent, serialized per shard by shard.mu), Snapshot holds the
+	// write side so it never observes a half-applied batch.
+	mu     sync.RWMutex
+	shards []*shard
+
+	epoch    atomic.Uint64
+	rr       atomic.Uint64 // round-robin fallback counter
+	accepted atomic.Uint64
+	rejected atomic.Uint64
+
+	keyCol int // schema position of KeyAttr, -1 when absent
+}
+
+// New builds an empty store. Zero-valued config fields take their
+// defaults; index and stats attributes must exist in the schema with the
+// right type.
+func New(cfg Config) (*Store, error) {
+	def := DefaultConfig()
+	if cfg.Shards == 0 {
+		cfg.Shards = def.Shards
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("store: %d shards", cfg.Shards)
+	}
+	if cfg.SegmentRows <= 0 {
+		cfg.SegmentRows = def.SegmentRows
+	}
+	if len(cfg.Schema) == 0 {
+		cfg.Schema = def.Schema
+	}
+	if cfg.KeyAttr == "" {
+		cfg.KeyAttr = def.KeyAttr
+	}
+
+	pos := make(map[string]int, len(cfg.Schema))
+	for i, f := range cfg.Schema {
+		if _, dup := pos[f.Name]; dup {
+			return nil, fmt.Errorf("store: duplicate schema column %q", f.Name)
+		}
+		pos[f.Name] = i
+	}
+
+	if cfg.IndexAttrs == nil {
+		for _, a := range def.IndexAttrs {
+			if i, ok := pos[a]; ok && cfg.Schema[i].Type == table.String {
+				cfg.IndexAttrs = append(cfg.IndexAttrs, a)
+			}
+		}
+	} else {
+		for _, a := range cfg.IndexAttrs {
+			i, ok := pos[a]
+			if !ok {
+				return nil, fmt.Errorf("store: index attribute %q not in schema", a)
+			}
+			if cfg.Schema[i].Type != table.String {
+				return nil, fmt.Errorf("store: index attribute %q is not categorical", a)
+			}
+		}
+	}
+	if cfg.StatsAttrs == nil {
+		for _, f := range cfg.Schema {
+			if f.Type == table.Float64 {
+				cfg.StatsAttrs = append(cfg.StatsAttrs, f.Name)
+			}
+		}
+	} else {
+		for _, a := range cfg.StatsAttrs {
+			i, ok := pos[a]
+			if !ok {
+				return nil, fmt.Errorf("store: stats attribute %q not in schema", a)
+			}
+			if cfg.Schema[i].Type != table.Float64 {
+				return nil, fmt.Errorf("store: stats attribute %q is not numeric", a)
+			}
+		}
+	}
+
+	keyCol := -1
+	if i, ok := pos[cfg.KeyAttr]; ok && cfg.Schema[i].Type == table.String {
+		keyCol = i
+	}
+
+	s := &Store{cfg: cfg, schema: cfg.Schema, keyCol: keyCol}
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		tail, err := table.NewWithSchema(cfg.Schema)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		sh := &shard{
+			tail:  tail,
+			index: make(map[string]map[string][]int, len(cfg.IndexAttrs)),
+			stats: make(map[string]*stats.Running, len(cfg.StatsAttrs)),
+		}
+		for _, a := range cfg.IndexAttrs {
+			sh.index[a] = make(map[string][]int)
+		}
+		for _, a := range cfg.StatsAttrs {
+			sh.stats[a] = &stats.Running{}
+		}
+		s.shards[i] = sh
+	}
+	return s, nil
+}
+
+// Schema returns the store's column layout (shared slice; do not modify).
+func (s *Store) Schema() []table.Field { return s.schema }
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// Epoch returns the snapshot epoch (number of snapshots taken so far).
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
+
+// Rows returns the current total row count across shards.
+func (s *Store) Rows() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.rows
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// shardFor routes one row of a batch to a shard: FNV-1a over the key
+// attribute, round robin when the key is absent or empty.
+func (s *Store) shardFor(key string, valid bool) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	if s.keyCol < 0 || !valid || key == "" {
+		return int(s.rr.Add(1) % uint64(len(s.shards)))
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// IngestResult reports the outcome of one append call.
+type IngestResult struct {
+	// Accepted and Rejected count rows; rejected rows failed per-record
+	// validation and were dropped before reaching any shard.
+	Accepted, Rejected int
+	// Issues holds a bounded sample of rejection reasons.
+	Issues []string
+}
+
+const maxReportedIssues = 10
+
+// AppendTable ingests a batch. The batch schema must match the store's
+// exactly; with Validate set, violating rows are dropped and counted in
+// the result. The batch becomes visible to snapshots atomically: a
+// snapshot sees either none or all of its accepted rows.
+func (s *Store) AppendTable(t *table.Table) (IngestResult, error) {
+	var res IngestResult
+	if t == nil || t.NumRows() == 0 {
+		return res, nil
+	}
+	ref, err := table.NewWithSchema(s.schema)
+	if err != nil {
+		return res, err
+	}
+	if !ref.SchemaEquals(t) {
+		// Typed CSV and binary batches are self-describing, so a batch
+		// carrying the right columns in a different order is fine:
+		// project it onto the store's column order by name.
+		if t, err = s.conform(t); err != nil {
+			return res, err
+		}
+	}
+
+	if s.cfg.Validate {
+		t, res = s.screen(t)
+		if t.NumRows() == 0 {
+			s.rejected.Add(uint64(res.Rejected))
+			return res, nil
+		}
+	}
+
+	var keys []string
+	var keyValid []bool
+	if s.keyCol >= 0 {
+		keys, _ = t.Strings(s.cfg.KeyAttr)
+		keyValid, _ = t.ValidMask(s.cfg.KeyAttr)
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	if len(s.shards) == 1 {
+		s.shards[0].append(t, &s.cfg)
+	} else {
+		parts, err := t.Partition(len(s.shards), func(row int) int {
+			if keys == nil {
+				return s.shardFor("", false)
+			}
+			return s.shardFor(keys[row], keyValid[row])
+		})
+		if err != nil {
+			return res, err
+		}
+		for i, part := range parts {
+			if part.NumRows() > 0 {
+				s.shards[i].append(part, &s.cfg)
+			}
+		}
+	}
+	res.Accepted = t.NumRows()
+	s.accepted.Add(uint64(res.Accepted))
+	s.rejected.Add(uint64(res.Rejected))
+	return res, nil
+}
+
+// conform projects a batch whose columns match the store schema by name
+// and type — but not order — onto the schema order. Batches missing a
+// column, carrying extras, or with a type mismatch are rejected with the
+// first offending column named.
+func (s *Store) conform(t *table.Table) (*table.Table, error) {
+	if t.NumCols() != len(s.schema) {
+		return nil, fmt.Errorf("store: batch has %d columns, schema has %d", t.NumCols(), len(s.schema))
+	}
+	names := make([]string, len(s.schema))
+	for i, f := range s.schema {
+		typ, err := t.TypeOf(f.Name)
+		if err != nil {
+			return nil, fmt.Errorf("store: batch lacks schema column %q", f.Name)
+		}
+		if typ != f.Type {
+			return nil, fmt.Errorf("store: batch column %q is %v, schema wants %v", f.Name, typ, f.Type)
+		}
+		names[i] = f.Name
+	}
+	return t.Select(names...)
+}
+
+// screen drops rows violating the EPC attribute specs, returning the kept
+// subset and the rejection tally.
+func (s *Store) screen(t *table.Table) (*table.Table, IngestResult) {
+	var res IngestResult
+	v := epc.NewRowValidator(t)
+	keep := make([]bool, t.NumRows())
+	kept := 0
+	for r := range keep {
+		issues := v.Validate(r)
+		if len(issues) == 0 {
+			keep[r] = true
+			kept++
+			continue
+		}
+		res.Rejected++
+		if len(res.Issues) < maxReportedIssues {
+			res.Issues = append(res.Issues, fmt.Sprintf("row %d: %v", r, issues[0]))
+		}
+	}
+	if kept == t.NumRows() {
+		return t, res
+	}
+	sub, err := t.FilterMask(keep)
+	if err != nil {
+		// FilterMask only fails on length mismatch, impossible here.
+		panic(fmt.Sprintf("store: screen: %v", err))
+	}
+	return sub, res
+}
+
+// append adds the rows of part (already routed to this shard) to the
+// shard's tail, updating indexes and statistics, and seals the tail when
+// it outgrows the segment bound. Caller holds the store read lock.
+func (sh *shard) append(part *table.Table, cfg *Config) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	base := sh.rows
+	if err := sh.tail.AppendTable(part); err != nil {
+		// Schema verified by AppendTable's caller.
+		panic(fmt.Sprintf("store: shard append: %v", err))
+	}
+	for _, attr := range cfg.IndexAttrs {
+		vals, _ := part.Strings(attr)
+		valid, _ := part.ValidMask(attr)
+		byVal := sh.index[attr]
+		for i, v := range vals {
+			if valid[i] && v != "" {
+				byVal[v] = append(byVal[v], base+i)
+			}
+		}
+	}
+	for _, attr := range cfg.StatsAttrs {
+		vals, _ := part.Floats(attr)
+		valid, _ := part.ValidMask(attr)
+		acc := sh.stats[attr]
+		for i, v := range vals {
+			if valid[i] {
+				acc.Add(v)
+			}
+		}
+	}
+	sh.rows += part.NumRows()
+	if sh.tail.NumRows() >= cfg.SegmentRows {
+		sh.seal(cfg)
+	}
+}
+
+// seal moves the tail into the immutable segment list and starts a fresh
+// tail. Caller holds sh.mu.
+func (sh *shard) seal(cfg *Config) {
+	if sh.tail.NumRows() == 0 {
+		return
+	}
+	sh.sealed = append(sh.sealed, &segment{tab: sh.tail})
+	tail, err := table.NewWithSchema(cfg.Schema)
+	if err != nil {
+		panic(fmt.Sprintf("store: reseal: %v", err))
+	}
+	sh.tail = tail
+}
+
+// Status summarizes the store for operational endpoints.
+type Status struct {
+	Shards      []ShardStatus `json:"shards"`
+	Rows        int           `json:"rows"`
+	Epoch       uint64        `json:"epoch"`
+	Accepted    uint64        `json:"accepted"`
+	Rejected    uint64        `json:"rejected"`
+	Columns     int           `json:"columns"`
+	IndexAttrs  []string      `json:"index_attrs"`
+	SegmentRows int           `json:"segment_rows"`
+}
+
+// ShardStatus summarizes one shard.
+type ShardStatus struct {
+	Rows     int `json:"rows"`
+	Segments int `json:"segments"`
+	TailRows int `json:"tail_rows"`
+}
+
+// RunningStats returns the live merged summary of a tracked numeric
+// attribute — the up-to-the-last-append view, ahead of any published
+// analysis. The second return value is false for untracked attributes.
+func (s *Store) RunningStats(attr string) (stats.Running, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var merged stats.Running
+	found := false
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if acc, ok := sh.stats[attr]; ok {
+			merged.Merge(*acc)
+			found = true
+		}
+		sh.mu.Unlock()
+	}
+	return merged, found
+}
+
+// CountBy returns the live per-value row counts of an indexed categorical
+// attribute, merged across shards. The second return value is false for
+// unindexed attributes.
+func (s *Store) CountBy(attr string) (map[string]int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]int)
+	found := false
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if byVal, ok := sh.index[attr]; ok {
+			found = true
+			for v, ids := range byVal {
+				out[v] += len(ids)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if !found {
+		return nil, false
+	}
+	return out, true
+}
+
+// Status reports the store's current shape.
+func (s *Store) Status() Status {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Status{
+		Epoch:       s.epoch.Load(),
+		Accepted:    s.accepted.Load(),
+		Rejected:    s.rejected.Load(),
+		Columns:     len(s.schema),
+		IndexAttrs:  append([]string(nil), s.cfg.IndexAttrs...),
+		SegmentRows: s.cfg.SegmentRows,
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st.Shards = append(st.Shards, ShardStatus{
+			Rows:     sh.rows,
+			Segments: len(sh.sealed),
+			TailRows: sh.tail.NumRows(),
+		})
+		st.Rows += sh.rows
+		sh.mu.Unlock()
+	}
+	return st
+}

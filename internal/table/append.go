@@ -1,0 +1,166 @@
+package table
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Row-growth support for the streaming store: tables can be created empty
+// from a schema and grown row-at-a-time or batch-at-a-time, and a batch can
+// be split into per-shard sub-tables. Growth mutates the receiver in place;
+// tables handed to readers must therefore be frozen by convention (the
+// store seals them into immutable segments before sharing).
+
+// NewWithSchema returns an empty (zero-row) table with the given columns.
+func NewWithSchema(fields []Field) (*Table, error) {
+	t := New()
+	for _, f := range fields {
+		if f.Name == "" {
+			return nil, errors.New("table: empty column name in schema")
+		}
+		if _, dup := t.index[f.Name]; dup {
+			return nil, fmt.Errorf("table: duplicate column %q in schema", f.Name)
+		}
+		c := &Column{Name: f.Name, Typ: f.Type}
+		if f.Type != Float64 && f.Type != String {
+			return nil, fmt.Errorf("table: unknown type %v for column %q", f.Type, f.Name)
+		}
+		t.push(c)
+	}
+	t.rows = 0
+	return t, nil
+}
+
+// SchemaEquals reports whether t and o have identical schemas: the same
+// column names with the same types in the same order.
+func (t *Table) SchemaEquals(o *Table) bool {
+	if len(t.cols) != len(o.cols) {
+		return false
+	}
+	for i, c := range t.cols {
+		if o.cols[i].Name != c.Name || o.cols[i].Typ != c.Typ {
+			return false
+		}
+	}
+	return true
+}
+
+// Cell is one value of a row being appended. The column's type selects
+// which field is read; invalid cells ignore both.
+type Cell struct {
+	Float float64
+	Str   string
+	Valid bool
+}
+
+// AppendRow appends one row to the table in place. Cells are given in
+// schema order; a float cell holding NaN is stored invalid regardless of
+// its Valid flag.
+func (t *Table) AppendRow(cells []Cell) error {
+	if len(cells) != len(t.cols) {
+		return fmt.Errorf("table: row has %d cells, schema has %d", len(cells), len(t.cols))
+	}
+	for i, c := range t.cols {
+		cell := cells[i]
+		if c.Typ == Float64 {
+			valid := cell.Valid && !math.IsNaN(cell.Float)
+			v := cell.Float
+			if !valid {
+				v = math.NaN()
+			}
+			c.Floats = append(c.Floats, v)
+			c.Valid = append(c.Valid, valid)
+		} else {
+			s := cell.Str
+			if !cell.Valid {
+				s = ""
+			}
+			c.Strs = append(c.Strs, s)
+			c.Valid = append(c.Valid, cell.Valid)
+		}
+	}
+	t.rows++
+	return nil
+}
+
+// AppendTable appends all rows of o to t in place. The schemas must be
+// identical (same names, types and order); on mismatch t is unchanged.
+func (t *Table) AppendTable(o *Table) error {
+	if !t.SchemaEquals(o) {
+		return fmt.Errorf("table: appending table with mismatched schema (%d cols vs %d)",
+			o.NumCols(), t.NumCols())
+	}
+	for i, c := range t.cols {
+		oc := o.cols[i]
+		if c.Typ == Float64 {
+			c.Floats = append(c.Floats, oc.Floats...)
+		} else {
+			c.Strs = append(c.Strs, oc.Strs...)
+		}
+		c.Valid = append(c.Valid, oc.Valid...)
+	}
+	t.rows += o.rows
+	return nil
+}
+
+// Concat returns a new table holding the rows of every input in order.
+// All inputs must share an identical schema. Concat of zero tables is an
+// error; inputs are not modified.
+func Concat(tables ...*Table) (*Table, error) {
+	if len(tables) == 0 {
+		return nil, errors.New("table: concat of no tables")
+	}
+	out, err := NewWithSchema(tables[0].Schema())
+	if err != nil {
+		return nil, err
+	}
+	for _, in := range tables {
+		if err := out.AppendTable(in); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Slice returns a new table holding rows [lo, hi) — the batch view used
+// when chunking a table for streaming ingestion.
+func (t *Table) Slice(lo, hi int) (*Table, error) {
+	if lo < 0 || hi < lo || hi > t.rows {
+		return nil, fmt.Errorf("table: slice [%d,%d) out of range [0,%d]", lo, hi, t.rows)
+	}
+	rows := make([]int, hi-lo)
+	for i := range rows {
+		rows[i] = lo + i
+	}
+	return t.Take(rows)
+}
+
+// Partition splits the table's rows into n new tables according to
+// key(row) ∈ [0, n). Row order is preserved within each part; parts with
+// no rows come back as empty tables with the same schema.
+func (t *Table) Partition(n int, key func(row int) int) ([]*Table, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("table: partition into %d parts", n)
+	}
+	rowsOf := make([][]int, n)
+	for r := 0; r < t.rows; r++ {
+		k := key(r)
+		if k < 0 || k >= n {
+			return nil, fmt.Errorf("table: partition key %d for row %d out of range [0,%d)", k, r, n)
+		}
+		rowsOf[k] = append(rowsOf[k], r)
+	}
+	out := make([]*Table, n)
+	for k := range out {
+		part, err := t.Take(rowsOf[k])
+		if err != nil {
+			return nil, err
+		}
+		if part.NumCols() == 0 {
+			part.rows = 0
+		}
+		out[k] = part
+	}
+	return out, nil
+}

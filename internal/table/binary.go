@@ -22,6 +22,12 @@ import (
 const (
 	binaryMagic   = "INDT"
 	binaryVersion = 1
+
+	// maxBinaryRows bounds the row count a binary header may claim, so a
+	// corrupt or hostile header cannot trigger multi-gigabyte upfront
+	// allocations. 2^28 rows is an order of magnitude beyond the largest
+	// regional EPC registry.
+	maxBinaryRows = 1 << 28
 )
 
 // WriteBinary serializes the table in the binary columnar format.
@@ -113,6 +119,9 @@ func ReadBinary(r io.Reader) (*Table, error) {
 	if cols > 1<<20 {
 		return nil, fmt.Errorf("table: implausible column count %d", cols)
 	}
+	if rows > maxBinaryRows {
+		return nil, fmt.Errorf("table: implausible row count %d", rows)
+	}
 
 	t := New()
 	for ci := uint32(0); ci < cols; ci++ {
@@ -132,29 +141,39 @@ func ReadBinary(r io.Reader) (*Table, error) {
 		if typ != Float64 && typ != String {
 			return nil, fmt.Errorf("table: unknown column type %d", typByte)
 		}
-		bitmap := make([]byte, (rows+7)/8)
-		if _, err := io.ReadFull(br, bitmap); err != nil {
-			return nil, fmt.Errorf("table: reading validity bitmap: %w", err)
-		}
-		valid := make([]bool, rows)
-		for i := range valid {
-			valid[i] = bitmap[i/8]&(1<<(i%8)) != 0
+		// Decode the bitmap in fixed chunks so allocation grows with the
+		// bytes actually supplied, not with the claimed row count.
+		valid := make([]bool, 0, min(int(rows), 1<<16))
+		var chunk [8192]byte
+		for remaining := int((rows + 7) / 8); remaining > 0; {
+			n := min(remaining, len(chunk))
+			if _, err := io.ReadFull(br, chunk[:n]); err != nil {
+				return nil, fmt.Errorf("table: reading validity bitmap: %w", err)
+			}
+			for _, b := range chunk[:n] {
+				for bit := 0; bit < 8 && len(valid) < int(rows); bit++ {
+					valid = append(valid, b&(1<<bit) != 0)
+				}
+			}
+			remaining -= n
 		}
 		if typ == Float64 {
-			vals := make([]float64, rows)
+			// Grow incrementally: the claimed row count is attacker
+			// controlled, so size allocations by data actually read.
+			vals := make([]float64, 0, min(int(rows), 1<<16))
 			var buf [8]byte
-			for i := range vals {
+			for i := uint32(0); i < rows; i++ {
 				if _, err := io.ReadFull(br, buf[:]); err != nil {
 					return nil, fmt.Errorf("table: reading float column: %w", err)
 				}
-				vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+				vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
 			}
 			if err := t.AddFloatsValid(string(nameBuf), vals, valid); err != nil {
 				return nil, err
 			}
 		} else {
-			vals := make([]string, rows)
-			for i := range vals {
+			vals := make([]string, 0, min(int(rows), 1<<16))
+			for i := uint32(0); i < rows; i++ {
 				l, err := readU32(br)
 				if err != nil {
 					return nil, err
@@ -166,7 +185,7 @@ func ReadBinary(r io.Reader) (*Table, error) {
 				if _, err := io.ReadFull(br, sb); err != nil {
 					return nil, fmt.Errorf("table: reading string column: %w", err)
 				}
-				vals[i] = string(sb)
+				vals = append(vals, string(sb))
 			}
 			if err := t.AddStringsValid(string(nameBuf), vals, valid); err != nil {
 				return nil, err
