@@ -464,3 +464,103 @@ func BenchmarkE9Ingest(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE10Query compares the snapshot query planner's secondary-index
+// pushdown against the naive full scan on a 100k-row sharded store: a
+// zone equality conjoined with a numeric range (the paper's
+// attribute-by-attribute stakeholder selection) touches ~1/20 of the rows
+// via the per-shard district index, while the full scan masks every row.
+func BenchmarkE10Query(b *testing.B) {
+	const rows = 100_000
+	cfg := store.Config{
+		Shards: 4,
+		Schema: []table.Field{
+			{Name: epc.AttrCertificateID, Type: table.String},
+			{Name: epc.AttrDistrict, Type: table.String},
+			{Name: epc.AttrEnergyClass, Type: table.String},
+			{Name: epc.AttrEPH, Type: table.Float64},
+		},
+		KeyAttr:    epc.AttrCertificateID,
+		IndexAttrs: []string{epc.AttrDistrict, epc.AttrEnergyClass},
+		StatsAttrs: []string{epc.AttrEPH},
+	}
+	st, err := store.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab, err := table.NewWithSchema(cfg.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]string, rows)
+	districts := make([]string, rows)
+	classes := make([]string, rows)
+	eph := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		ids[i] = fmt.Sprintf("cert-%07d", i)
+		districts[i] = fmt.Sprintf("D%02d", (i*7919)%20)
+		classes[i] = epc.EnergyClasses[(i*104729)%len(epc.EnergyClasses)]
+		eph[i] = float64((i * 31) % 500)
+	}
+	seed := table.New()
+	if err := seed.AddStrings(epc.AttrCertificateID, ids); err != nil {
+		b.Fatal(err)
+	}
+	if err := seed.AddStrings(epc.AttrDistrict, districts); err != nil {
+		b.Fatal(err)
+	}
+	if err := seed.AddStrings(epc.AttrEnergyClass, classes); err != nil {
+		b.Fatal(err)
+	}
+	if err := seed.AddFloats(epc.AttrEPH, eph); err != nil {
+		b.Fatal(err)
+	}
+	if err := tab.AppendTable(seed); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.AppendTable(tab); err != nil {
+		b.Fatal(err)
+	}
+	snap := st.Snapshot()
+	if _, err := snap.Table(); err != nil { // materialize once, outside timing
+		b.Fatal(err)
+	}
+	q := query.MustParse(epc.AttrDistrict + " = D07 and " + epc.AttrEPH + " in [0, 400]")
+
+	want, err := snap.FullScan(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	got, _, err := snap.Query(q, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if got.NumRows() != want.NumRows() || got.NumRows() == 0 {
+		b.Fatalf("indexed path matched %d rows, full scan %d", got.NumRows(), want.NumRows())
+	}
+
+	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := snap.Query(q, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("indexed-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := snap.Query(q, runtime.GOMAXPROCS(0)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fullscan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := snap.FullScan(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

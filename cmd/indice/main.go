@@ -5,6 +5,11 @@
 //
 //	indice -epcs epcs.csv -streets streets.csv -stakeholder pa -out dashboard.html
 //
+// The -query flag narrows the collection with the same predicate DSL the
+// server's /api/query speaks (see internal/query.Parse):
+//
+//	indice -epcs epcs.csv -query 'eph in [50, 150] and energy_class in {C, D}'
+//
 // Input files come from epcgen (or any source honouring the typed-CSV
 // schema of internal/table and the street-map CSV layout of epcgen).
 package main
@@ -26,110 +31,148 @@ import (
 	"indice/internal/table"
 )
 
+// options carries the parsed command line; run executes the pipeline so
+// tests can drive the batch path without exec'ing the binary.
+type options struct {
+	epcsPath    string
+	streetsPath string
+	stakeholder string
+	out         string
+	phi         float64
+	quota       int
+	use         string
+	queryDSL    string
+	kMax        int
+	skipAnalyze bool
+	reportPath  string
+	parallelism int
+}
+
 func main() {
-	var (
-		epcsPath    = flag.String("epcs", "", "EPC table (typed CSV from epcgen); required")
-		streetsPath = flag.String("streets", "", "referenced street map CSV; enables geospatial cleaning")
-		stakeholder = flag.String("stakeholder", "public-administration", "citizen | public-administration | energy-scientist")
-		out         = flag.String("out", "dashboard.html", "dashboard output path")
-		phi         = flag.Float64("phi", 0.8, "Levenshtein similarity threshold for address reconciliation")
-		quota       = flag.Int("geocoder-quota", 1000, "free remote geocoding requests (simulated)")
-		use         = flag.String("use", epc.UseResidential, "intended-use selection ('' disables)")
-		kMax        = flag.Int("kmax", 10, "upper bound of the K-means sweep")
-		skipAnalyze = flag.Bool("skip-analysis", false, "skip the analytics tier (maps only)")
-		reportPath  = flag.String("report", "", "optional markdown run-report output path")
-		parallelism = flag.Int("parallelism", 0, "analytics worker goroutines (0 = all CPUs, 1 = sequential); results are identical at any setting")
-	)
+	var o options
+	flag.StringVar(&o.epcsPath, "epcs", "", "EPC table (typed CSV from epcgen); required")
+	flag.StringVar(&o.streetsPath, "streets", "", "referenced street map CSV; enables geospatial cleaning")
+	flag.StringVar(&o.stakeholder, "stakeholder", "public-administration", "citizen | public-administration | energy-scientist")
+	flag.StringVar(&o.out, "out", "dashboard.html", "dashboard output path")
+	flag.Float64Var(&o.phi, "phi", 0.8, "Levenshtein similarity threshold for address reconciliation")
+	flag.IntVar(&o.quota, "geocoder-quota", 1000, "free remote geocoding requests (simulated)")
+	flag.StringVar(&o.use, "use", epc.UseResidential, "intended-use selection ('' disables)")
+	flag.StringVar(&o.queryDSL, "query", "", `predicate DSL selection, e.g. 'eph in [50, 150] and energy_class in {C, D}'; ANDs with -use`)
+	flag.IntVar(&o.kMax, "kmax", 10, "upper bound of the K-means sweep")
+	flag.BoolVar(&o.skipAnalyze, "skip-analysis", false, "skip the analytics tier (maps only)")
+	flag.StringVar(&o.reportPath, "report", "", "optional markdown run-report output path")
+	flag.IntVar(&o.parallelism, "parallelism", 0, "analytics worker goroutines (0 = all CPUs, 1 = sequential); results are identical at any setting")
 	flag.Parse()
-	if *epcsPath == "" {
-		fatal(fmt.Errorf("-epcs is required"))
+	if err := run(o, os.Stderr); err != nil {
+		fatal(err)
 	}
-	workers := *parallelism
+}
+
+func run(o options, logw io.Writer) error {
+	if o.epcsPath == "" {
+		return fmt.Errorf("-epcs is required")
+	}
+	workers := o.parallelism
 	if workers == 0 {
 		workers = parallel.Auto
 	}
-
-	tab, err := loadTable(*epcsPath)
-	if err != nil {
-		fatal(err)
+	var sel query.Predicate
+	if o.queryDSL != "" {
+		var err error
+		if sel, err = query.Parse(o.queryDSL); err != nil {
+			return err
+		}
 	}
-	fmt.Fprintf(os.Stderr, "loaded %d certificates x %d attributes\n", tab.NumRows(), tab.NumCols())
+
+	tab, err := loadTable(o.epcsPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "loaded %d certificates x %d attributes\n", tab.NumRows(), tab.NumCols())
 
 	hier, err := hierarchyFromData(tab)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	opts := core.Options{}
-	if *streetsPath != "" {
-		sm, err := loadStreetMap(*streetsPath)
+	if o.streetsPath != "" {
+		sm, err := loadStreetMap(o.streetsPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		opts.StreetMap = sm
-		opts.Geocoder = geocode.NewMockGeocoder(sm, *quota)
+		opts.Geocoder = geocode.NewMockGeocoder(sm, o.quota)
 	}
 	eng, err := core.NewEngine(tab, hier, opts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	if *use != "" {
-		n, err := eng.Select(query.In{Attr: epc.AttrIntendedUse, Values: []string{*use}})
+	if o.use != "" {
+		n, err := eng.Select(query.In{Attr: epc.AttrIntendedUse, Values: []string{o.use}})
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "selected %d certificates with intended use %s\n", n, *use)
+		fmt.Fprintf(logw, "selected %d certificates with intended use %s\n", n, o.use)
+	}
+	if sel != nil {
+		n, err := eng.Select(sel)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(logw, "selected %d certificates matching %s\n", n, sel)
 	}
 
 	pcfg := core.DefaultPreprocessConfig()
-	pcfg.Clean.Phi = *phi
+	pcfg.Clean.Phi = o.phi
 	pcfg.Parallelism = workers
 	rep, err := eng.Preprocess(pcfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if rep.Cleaning != nil {
-		fmt.Fprintf(os.Stderr,
+		fmt.Fprintf(logw,
 			"cleaning: %d untouched, %d via street map, %d geocoded, %d unresolved (%d remote requests)\n",
 			rep.Cleaning.Untouched, rep.Cleaning.StreetMap, rep.Cleaning.Geocoded,
 			rep.Cleaning.Unresolved, rep.Cleaning.GeocoderRequests)
 	}
-	fmt.Fprintf(os.Stderr, "outliers (%s): removed %d rows, %d remain\n",
+	fmt.Fprintf(logw, "outliers (%s): removed %d rows, %d remain\n",
 		rep.UnivariateMethod, len(rep.OutlierRows), rep.RowsAfter)
 
 	var an *core.Analysis
-	if !*skipAnalyze {
+	if !o.skipAnalyze {
 		acfg := core.DefaultAnalysisConfig()
-		acfg.KMax = *kMax
+		acfg.KMax = o.kMax
 		acfg.Parallelism = workers
 		an, err = eng.Analyze(acfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "analytics: K=%d clusters, %d association rules, weakly correlated=%v\n",
+		fmt.Fprintf(logw, "analytics: K=%d clusters, %d association rules, weakly correlated=%v\n",
 			an.ChosenK, len(an.Rules), an.WeaklyCorrelated)
 	}
 
-	s, err := query.ParseStakeholder(*stakeholder)
+	s, err := query.ParseStakeholder(o.stakeholder)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	html, err := eng.Dashboard(s, an)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	if err := os.WriteFile(*out, []byte(html), 0o644); err != nil {
-		fatal(err)
+	if err := os.WriteFile(o.out, []byte(html), 0o644); err != nil {
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s dashboard to %s (%d bytes)\n", s, *out, len(html))
+	fmt.Fprintf(logw, "wrote %s dashboard to %s (%d bytes)\n", s, o.out, len(html))
 
-	if *reportPath != "" {
-		if err := os.WriteFile(*reportPath, []byte(eng.Report(rep, an)), 0o644); err != nil {
-			fatal(err)
+	if o.reportPath != "" {
+		if err := os.WriteFile(o.reportPath, []byte(eng.Report(rep, an)), 0o644); err != nil {
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote run report to %s\n", *reportPath)
+		fmt.Fprintf(logw, "wrote run report to %s\n", o.reportPath)
 	}
+	return nil
 }
 
 func loadTable(path string) (*table.Table, error) {

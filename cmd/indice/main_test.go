@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"indice/internal/synth"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// writeDataset generates the deterministic synthetic collection and
+// stores it as the typed CSV the CLI ingests.
+func writeDataset(t *testing.T, dir string, certificates int) string {
+	t.Helper()
+	ccfg := synth.DefaultCityConfig()
+	ccfg.Streets, ccfg.CivicsPerStreet = 40, 10
+	city, err := synth.GenerateCity(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcfg := synth.DefaultConfig()
+	gcfg.Certificates = certificates
+	ds, err := synth.Generate(gcfg, city)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Table.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "epcs.csv")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunQueryReportGolden drives the batch CLI path with a -query DSL
+// selection and pins the run report against a golden file. Regenerate
+// with `go test ./cmd/indice -update` after intentional changes.
+func TestRunQueryReportGolden(t *testing.T) {
+	dir := t.TempDir()
+	epcs := writeDataset(t, dir, 1200)
+	report := filepath.Join(dir, "report.md")
+
+	var log strings.Builder
+	err := run(options{
+		epcsPath:    epcs,
+		stakeholder: "pa",
+		out:         filepath.Join(dir, "dashboard.html"),
+		phi:         0.8,
+		use:         "E.1.1",
+		queryDSL:    "eph in [20, 400] and energy_class in {B, C, D, E, F, G}",
+		kMax:        4,
+		reportPath:  report,
+		parallelism: 1,
+	}, &log)
+	if err != nil {
+		t.Fatalf("run: %v\nlog:\n%s", err, log.String())
+	}
+	if !strings.Contains(log.String(), "certificates matching eph in [20, 400]") {
+		t.Fatalf("query selection not logged:\n%s", log.String())
+	}
+
+	got, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "query_report.golden.md")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./cmd/indice -update` to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("report drifted from its golden copy.\nIf the change is intentional, regenerate with `go test ./cmd/indice -update`.\ngot %d bytes, want %d bytes\n--- got ---\n%s", len(got), len(want), got)
+	}
+}
+
+// TestRunRejectsBadQuery pins the CLI error path for malformed DSL.
+func TestRunRejectsBadQuery(t *testing.T) {
+	var log strings.Builder
+	err := run(options{epcsPath: "nonexistent.csv", queryDSL: "eph in ["}, &log)
+	if err == nil || !strings.Contains(err.Error(), "parse") {
+		t.Fatalf("err = %v, want parse error (before any file I/O)", err)
+	}
+}

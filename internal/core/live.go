@@ -65,6 +65,10 @@ type Published struct {
 	Epoch uint64
 	// Rows is the snapshot row count before preprocessing.
 	Rows int
+	// Snapshot is the frozen store view this state was built from. The
+	// query planner serves /api/query off it, so every response within
+	// one published state reads one consistent epoch.
+	Snapshot *store.Snapshot
 	// Engine holds the preprocessed table; Analysis may be nil with
 	// LiveConfig.SkipAnalysis.
 	Engine   *Engine
@@ -198,6 +202,7 @@ func (l *Live) refreshLocked() (*Published, error) {
 	return &Published{
 		Epoch:       snap.Epoch(),
 		Rows:        snap.NumRows(),
+		Snapshot:    snap,
 		Engine:      eng,
 		Analysis:    an,
 		Report:      rep,

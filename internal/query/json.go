@@ -1,0 +1,170 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// predJSON is the wire shape of one predicate node. Exactly the fields
+// of the node's op are set:
+//
+//	{"op":"range","attr":"eph","min":50,"max":150}   // omit min/max for ∓Inf
+//	{"op":"in","attr":"district","values":["D1"]}
+//	{"op":"and","args":[…]}  {"op":"or","args":[…]}
+//	{"op":"not","arg":…}
+type predJSON struct {
+	Op     string            `json:"op"`
+	Attr   string            `json:"attr,omitempty"`
+	Min    *float64          `json:"min,omitempty"`
+	Max    *float64          `json:"max,omitempty"`
+	Values []string          `json:"values,omitempty"`
+	Args   []json.RawMessage `json:"args,omitempty"`
+	Arg    json.RawMessage   `json:"arg,omitempty"`
+}
+
+// MarshalPredicate encodes a predicate tree as JSON for programmatic
+// clients. Infinite range bounds are encoded by omission (JSON has no
+// Inf); NaN bounds are an error.
+func MarshalPredicate(p Predicate) ([]byte, error) {
+	node, err := toJSON(p)
+	if err != nil {
+		return nil, fmt.Errorf("query: marshal: %w", err)
+	}
+	return json.Marshal(node)
+}
+
+func toJSON(p Predicate) (*predJSON, error) {
+	marshalArgs := func(subs []Predicate) ([]json.RawMessage, error) {
+		args := make([]json.RawMessage, len(subs))
+		for i, sub := range subs {
+			raw, err := MarshalPredicate(sub)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = raw
+		}
+		return args, nil
+	}
+	switch p := p.(type) {
+	case NumRange:
+		if math.IsNaN(p.Min) || math.IsNaN(p.Max) {
+			return nil, fmt.Errorf("NaN range bound on %q", p.Attr)
+		}
+		node := &predJSON{Op: "range", Attr: p.Attr}
+		if !math.IsInf(p.Min, -1) {
+			min := p.Min
+			node.Min = &min
+		}
+		if !math.IsInf(p.Max, 1) {
+			max := p.Max
+			node.Max = &max
+		}
+		return node, nil
+	case In:
+		vals := p.Values
+		if vals == nil {
+			vals = []string{}
+		}
+		return &predJSON{Op: "in", Attr: p.Attr, Values: vals}, nil
+	case And:
+		args, err := marshalArgs(p)
+		if err != nil {
+			return nil, err
+		}
+		return &predJSON{Op: "and", Args: args}, nil
+	case Or:
+		args, err := marshalArgs(p)
+		if err != nil {
+			return nil, err
+		}
+		return &predJSON{Op: "or", Args: args}, nil
+	case Not:
+		raw, err := MarshalPredicate(p.P)
+		if err != nil {
+			return nil, err
+		}
+		return &predJSON{Op: "not", Arg: raw}, nil
+	}
+	return nil, fmt.Errorf("unsupported predicate type %T", p)
+}
+
+// UnmarshalPredicate decodes the JSON predicate encoding back into a
+// Predicate tree.
+func UnmarshalPredicate(data []byte) (Predicate, error) {
+	p, err := fromJSON(data, 0)
+	if err != nil {
+		return nil, fmt.Errorf("query: unmarshal: %w", err)
+	}
+	return p, nil
+}
+
+func fromJSON(data []byte, depth int) (Predicate, error) {
+	if depth > maxParseDepth {
+		return nil, fmt.Errorf("predicate nested deeper than %d", maxParseDepth)
+	}
+	var node predJSON
+	if err := json.Unmarshal(data, &node); err != nil {
+		return nil, err
+	}
+	unmarshalArgs := func() ([]Predicate, error) {
+		if len(node.Args) == 0 {
+			return nil, fmt.Errorf("%s needs a non-empty args array", node.Op)
+		}
+		subs := make([]Predicate, len(node.Args))
+		for i, raw := range node.Args {
+			sub, err := fromJSON(raw, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			subs[i] = sub
+		}
+		return subs, nil
+	}
+	switch node.Op {
+	case "range":
+		if node.Attr == "" {
+			return nil, fmt.Errorf("range needs an attr")
+		}
+		p := NumRange{Attr: node.Attr, Min: math.Inf(-1), Max: math.Inf(1)}
+		if node.Min != nil {
+			p.Min = *node.Min
+		}
+		if node.Max != nil {
+			p.Max = *node.Max
+		}
+		return p, nil
+	case "in":
+		if node.Attr == "" {
+			return nil, fmt.Errorf("in needs an attr")
+		}
+		if len(node.Values) == 0 {
+			return nil, fmt.Errorf("in needs a non-empty values array")
+		}
+		return In{Attr: node.Attr, Values: node.Values}, nil
+	case "and":
+		subs, err := unmarshalArgs()
+		if err != nil {
+			return nil, err
+		}
+		return And(subs), nil
+	case "or":
+		subs, err := unmarshalArgs()
+		if err != nil {
+			return nil, err
+		}
+		return Or(subs), nil
+	case "not":
+		if len(node.Arg) == 0 {
+			return nil, fmt.Errorf("not needs an arg")
+		}
+		sub, err := fromJSON(node.Arg, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return Not{P: sub}, nil
+	case "":
+		return nil, fmt.Errorf("missing op")
+	}
+	return nil, fmt.Errorf("unknown op %q", node.Op)
+}

@@ -1,0 +1,481 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse converts the textual predicate DSL into a Predicate tree.
+//
+// Grammar (keywords case-insensitive, whitespace free-form):
+//
+//	expr       := and-expr ( OR and-expr )*
+//	and-expr   := unary ( AND unary )*
+//	unary      := NOT unary | '(' expr ')' | comparison
+//	comparison := attr 'in' '[' number ',' number ']'   numeric range, inclusive
+//	            | attr 'in' '{' value (',' value)* '}'  categorical membership
+//	            | attr '='  value                       sugar for attr in {value}
+//	            | attr '!=' value                       sugar for NOT (attr in {value})
+//	            | attr '>=' number                      sugar for attr in [number, +Inf]
+//	            | attr '<=' number                      sugar for attr in [-Inf, number]
+//	attr, value := bare word or double-quoted string
+//
+// Examples:
+//
+//	eph in [50, 150] and district = D1 and energy_class in {A1, B}
+//	not (intended_use = E.1.1) or eph >= 300
+//
+// Bare words may contain letters, digits, '_', '.' and '-'; anything
+// else (spaces, commas, braces) must be double-quoted with Go escaping.
+// Range bounds accept +Inf/-Inf. The String method of the returned
+// predicate renders canonical text that re-parses to an equivalent tree.
+func Parse(s string) (Predicate, error) {
+	toks, err := lex(s)
+	if err != nil {
+		return nil, fmt.Errorf("query: parse %q: %w", s, err)
+	}
+	p := &parser{toks: toks}
+	pred, err := p.parseExpr(0)
+	if err != nil {
+		return nil, fmt.Errorf("query: parse %q: %w", s, err)
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("query: parse %q: unexpected %q after predicate", s, p.peek().text)
+	}
+	return pred, nil
+}
+
+// MustParse is Parse for static query literals; it panics on error.
+func MustParse(s string) Predicate {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// maxParseDepth bounds expression nesting so adversarial inputs
+// ("((((…") fail fast instead of exhausting the stack.
+const maxParseDepth = 500
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString // quoted; text holds the unquoted content
+	tokAnd
+	tokOr
+	tokNot
+	tokIn
+	tokLParen
+	tokRParen
+	tokLBrack
+	tokRBrack
+	tokLBrace
+	tokRBrace
+	tokComma
+	tokEq
+	tokNe
+	tokGe
+	tokLe
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || r == '.' || r == '-' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	rs := []rune(s)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '(':
+			toks = append(toks, token{tokLParen, "("})
+			i++
+		case r == ')':
+			toks = append(toks, token{tokRParen, ")"})
+			i++
+		case r == '[':
+			toks = append(toks, token{tokLBrack, "["})
+			i++
+		case r == ']':
+			toks = append(toks, token{tokRBrack, "]"})
+			i++
+		case r == '{':
+			toks = append(toks, token{tokLBrace, "{"})
+			i++
+		case r == '}':
+			toks = append(toks, token{tokRBrace, "}"})
+			i++
+		case r == ',':
+			toks = append(toks, token{tokComma, ","})
+			i++
+		case r == '=':
+			toks = append(toks, token{tokEq, "="})
+			i++
+		case r == '!':
+			if i+1 >= len(rs) || rs[i+1] != '=' {
+				return nil, fmt.Errorf("stray '!' (did you mean '!=')")
+			}
+			toks = append(toks, token{tokNe, "!="})
+			i += 2
+		case r == '>':
+			if i+1 >= len(rs) || rs[i+1] != '=' {
+				return nil, fmt.Errorf("stray '>' (only '>=' is supported; use ranges for strict bounds)")
+			}
+			toks = append(toks, token{tokGe, ">="})
+			i += 2
+		case r == '<':
+			if i+1 >= len(rs) || rs[i+1] != '=' {
+				return nil, fmt.Errorf("stray '<' (only '<=' is supported; use ranges for strict bounds)")
+			}
+			toks = append(toks, token{tokLe, "<="})
+			i += 2
+		case r == '"':
+			j := i + 1
+			for j < len(rs) {
+				if rs[j] == '\\' {
+					j += 2
+					continue
+				}
+				if rs[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(rs) {
+				return nil, fmt.Errorf("unterminated string")
+			}
+			unq, err := strconv.Unquote(string(rs[i : j+1]))
+			if err != nil {
+				return nil, fmt.Errorf("bad string %s: %v", string(rs[i:j+1]), err)
+			}
+			toks = append(toks, token{tokString, unq})
+			i = j + 1
+		case r == '+' || r == '-' || r == '.' || unicode.IsDigit(r):
+			// Number: sign, digits/dots/exponents, or a signed inf/nan
+			// word ("+Inf" as %g prints it).
+			j := i
+			if rs[j] == '+' || rs[j] == '-' {
+				j++
+			}
+			if j < len(rs) && unicode.IsLetter(rs[j]) {
+				for j < len(rs) && unicode.IsLetter(rs[j]) {
+					j++
+				}
+			} else {
+				for j < len(rs) {
+					c := rs[j]
+					if unicode.IsDigit(c) || c == '.' || c == 'e' || c == 'E' {
+						j++
+						continue
+					}
+					if (c == '+' || c == '-') && (rs[j-1] == 'e' || rs[j-1] == 'E') {
+						j++
+						continue
+					}
+					break
+				}
+			}
+			text := string(rs[i:j])
+			if _, err := strconv.ParseFloat(text, 64); err != nil {
+				return nil, fmt.Errorf("bad number %q", text)
+			}
+			toks = append(toks, token{tokNumber, text})
+			i = j
+		case isIdentStart(r):
+			j := i
+			for j < len(rs) && isIdentCont(rs[j]) {
+				j++
+			}
+			text := string(rs[i:j])
+			switch strings.ToLower(text) {
+			case "and":
+				toks = append(toks, token{tokAnd, text})
+			case "or":
+				toks = append(toks, token{tokOr, text})
+			case "not":
+				toks = append(toks, token{tokNot, text})
+			case "in":
+				toks = append(toks, token{tokIn, text})
+			default:
+				toks = append(toks, token{tokIdent, text})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("unexpected character %q", string(r))
+		}
+	}
+	toks = append(toks, token{tokEOF, ""})
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, fmt.Errorf("expected %s, got %q", what, tokenText(t))
+	}
+	return t, nil
+}
+
+func tokenText(t token) string {
+	if t.kind == tokEOF {
+		return "end of query"
+	}
+	return t.text
+}
+
+// parseExpr parses an OR-chain of AND-chains.
+func (p *parser) parseExpr(depth int) (Predicate, error) {
+	if depth > maxParseDepth {
+		return nil, fmt.Errorf("expression nested deeper than %d", maxParseDepth)
+	}
+	first, err := p.parseAnd(depth)
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokOr {
+		return first, nil
+	}
+	or := Or{first}
+	for p.peek().kind == tokOr {
+		p.next()
+		sub, err := p.parseAnd(depth)
+		if err != nil {
+			return nil, err
+		}
+		or = append(or, sub)
+	}
+	return or, nil
+}
+
+func (p *parser) parseAnd(depth int) (Predicate, error) {
+	first, err := p.parseUnary(depth)
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokAnd {
+		return first, nil
+	}
+	and := And{first}
+	for p.peek().kind == tokAnd {
+		p.next()
+		sub, err := p.parseUnary(depth)
+		if err != nil {
+			return nil, err
+		}
+		and = append(and, sub)
+	}
+	return and, nil
+}
+
+func (p *parser) parseUnary(depth int) (Predicate, error) {
+	if depth > maxParseDepth {
+		return nil, fmt.Errorf("expression nested deeper than %d", maxParseDepth)
+	}
+	switch p.peek().kind {
+	case tokNot:
+		p.next()
+		sub, err := p.parseUnary(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		return Not{P: sub}, nil
+	case tokLParen:
+		p.next()
+		sub, err := p.parseExpr(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return sub, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Predicate, error) {
+	attrTok := p.next()
+	if attrTok.kind != tokIdent && attrTok.kind != tokString {
+		return nil, fmt.Errorf("expected attribute name, got %q", tokenText(attrTok))
+	}
+	attr := attrTok.text
+	op := p.next()
+	switch op.kind {
+	case tokIn:
+		open := p.next()
+		switch open.kind {
+		case tokLBrack:
+			lo, err := p.parseBound()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokComma, "','"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseBound()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBrack, "']'"); err != nil {
+				return nil, err
+			}
+			return NumRange{Attr: attr, Min: lo, Max: hi}, nil
+		case tokLBrace:
+			var vals []string
+			for {
+				v, err := p.parseValue()
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, v)
+				sep := p.next()
+				if sep.kind == tokRBrace {
+					break
+				}
+				if sep.kind != tokComma {
+					return nil, fmt.Errorf("expected ',' or '}', got %q", tokenText(sep))
+				}
+			}
+			return In{Attr: attr, Values: vals}, nil
+		default:
+			return nil, fmt.Errorf("expected '[' or '{' after %q in, got %q", attr, tokenText(open))
+		}
+	case tokEq:
+		v, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		return In{Attr: attr, Values: []string{v}}, nil
+	case tokNe:
+		v, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		return Not{P: In{Attr: attr, Values: []string{v}}}, nil
+	case tokGe:
+		v, err := p.parseBound()
+		if err != nil {
+			return nil, err
+		}
+		return NumRange{Attr: attr, Min: v, Max: math.Inf(1)}, nil
+	case tokLe:
+		v, err := p.parseBound()
+		if err != nil {
+			return nil, err
+		}
+		return NumRange{Attr: attr, Min: math.Inf(-1), Max: v}, nil
+	default:
+		return nil, fmt.Errorf("expected comparison operator after %q, got %q", attr, tokenText(op))
+	}
+}
+
+// parseBound parses a numeric range bound: a number token, or an
+// inf-like bare word ("Inf", "-Inf"). NaN bounds are rejected.
+func (p *parser) parseBound() (float64, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber, tokIdent:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return 0, fmt.Errorf("expected number, got %q", tokenText(t))
+		}
+		if math.IsNaN(v) {
+			return 0, fmt.Errorf("NaN is not a valid range bound")
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("expected number, got %q", tokenText(t))
+}
+
+// parseValue parses one categorical value: a bare word, a number (kept
+// as its literal text) or a quoted string.
+func (p *parser) parseValue() (string, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent, tokNumber, tokString:
+		return t.text, nil
+	}
+	return "", fmt.Errorf("expected value, got %q", tokenText(t))
+}
+
+// quoteIdent renders an attribute name, quoting it when it would not lex
+// back as a single bare word.
+func quoteIdent(s string) string {
+	if bareWord(s) {
+		return s
+	}
+	return strconv.Quote(s)
+}
+
+// quoteValue renders a categorical value, keeping bare words and number
+// literals as-is and quoting everything else.
+func quoteValue(s string) string {
+	if bareWord(s) || bareNumber(s) {
+		return s
+	}
+	return strconv.Quote(s)
+}
+
+// bareWord reports whether s lexes back as one identifier token (and is
+// not a keyword).
+func bareWord(s string) bool {
+	rs := []rune(s)
+	if len(rs) == 0 || !isIdentStart(rs[0]) {
+		return false
+	}
+	for _, r := range rs[1:] {
+		if !isIdentCont(r) {
+			return false
+		}
+	}
+	switch strings.ToLower(s) {
+	case "and", "or", "not", "in":
+		return false
+	}
+	return true
+}
+
+// bareNumber reports whether s lexes back as one number token with the
+// same text.
+func bareNumber(s string) bool {
+	toks, err := lex(s)
+	if err != nil || len(toks) != 2 {
+		return false
+	}
+	return toks[0].kind == tokNumber && toks[0].text == s
+}

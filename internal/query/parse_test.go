@@ -1,0 +1,192 @@
+package query
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestParseExamples(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Predicate
+	}{
+		{"eph in [50, 150]", NumRange{Attr: "eph", Min: 50, Max: 150}},
+		{"eph in [50,150] and district = D1 and energy_class in {A1, B}",
+			And{
+				NumRange{Attr: "eph", Min: 50, Max: 150},
+				In{Attr: "district", Values: []string{"D1"}},
+				In{Attr: "energy_class", Values: []string{"A1", "B"}},
+			}},
+		{"intended_use = E.1.1", In{Attr: "intended_use", Values: []string{"E.1.1"}}},
+		{"city != Milano", Not{P: In{Attr: "city", Values: []string{"Milano"}}}},
+		{"eph >= 300", NumRange{Attr: "eph", Min: 300, Max: math.Inf(1)}},
+		{"eph <= 80.5", NumRange{Attr: "eph", Min: math.Inf(-1), Max: 80.5}},
+		{"not (city = Torino)", Not{P: In{Attr: "city", Values: []string{"Torino"}}}},
+		{"NOT city = Torino", Not{P: In{Attr: "city", Values: []string{"Torino"}}}},
+		{"a = x or b = y and c = z", // AND binds tighter than OR
+			Or{
+				In{Attr: "a", Values: []string{"x"}},
+				And{In{Attr: "b", Values: []string{"y"}}, In{Attr: "c", Values: []string{"z"}}},
+			}},
+		{"(a = x or b = y) and c = z",
+			And{
+				Or{In{Attr: "a", Values: []string{"x"}}, In{Attr: "b", Values: []string{"y"}}},
+				In{Attr: "c", Values: []string{"z"}},
+			}},
+		{`"heat surface" in [10, 20]`, NumRange{Attr: "heat surface", Min: 10, Max: 20}},
+		{`city in {"San Mauro", Torino}`, In{Attr: "city", Values: []string{"San Mauro", "Torino"}}},
+		{"eph in [-Inf, 100]", NumRange{Attr: "eph", Min: math.Inf(-1), Max: 100}},
+		{"eph in [1e2, 1.5e2]", NumRange{Attr: "eph", Min: 100, Max: 150}},
+		{"zone in {3, 4}", In{Attr: "zone", Values: []string{"3", "4"}}},
+	}
+	for _, tc := range cases {
+		got, err := Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Parse(%q) = %#v, want %#v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"eph in",
+		"eph in [50",
+		"eph in [50, ]",
+		"eph in [a, b]",
+		"eph in [NaN, 5]",
+		"eph in {}",
+		"and eph in [1, 2]",
+		"eph in [1, 2] and",
+		"eph in [1, 2] garbage",
+		"(eph in [1, 2]",
+		"eph > 5",
+		"eph < 5",
+		"eph ! 5",
+		`"unterminated in [1, 2]`,
+		"eph in [1, 2] && city = a",
+	}
+	for _, in := range bad {
+		if p, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %v, want error", in, p)
+		}
+	}
+}
+
+// TestParseStringRoundTrip pins that String output re-parses to the same
+// tree, and that rendering is a fixed point of parse∘String.
+func TestParseStringRoundTrip(t *testing.T) {
+	preds := []Predicate{
+		NumRange{Attr: "eph", Min: 50, Max: 150},
+		NumRange{Attr: "eph", Min: math.Inf(-1), Max: 80},
+		In{Attr: "district", Values: []string{"D1", "D2"}},
+		In{Attr: "city", Values: []string{"San Mauro Torinese", "Torino"}},
+		In{Attr: "weird attr", Values: []string{"a,b", `with "quotes"`, ""}},
+		And{Residential(), InCity("Torino"), NumRange{Attr: "eph", Min: 0, Max: 100}},
+		Or{InDistrict("D1"), And{Residential(), Not{P: InCity("Milano")}}},
+		Not{P: Or{InCity("a"), InCity("b")}},
+		And{Or{InCity("a"), InCity("b")}, Or{InCity("c"), InCity("d")}},
+	}
+	for _, p := range preds {
+		s := p.String()
+		got, err := Parse(s)
+		if err != nil {
+			t.Errorf("Parse(String %q): %v", s, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Errorf("round trip of %q = %#v, want %#v", s, got, p)
+		}
+		if got.String() != s {
+			t.Errorf("String not a fixed point: %q -> %q", s, got.String())
+		}
+	}
+}
+
+func TestPredicateJSONRoundTrip(t *testing.T) {
+	preds := []Predicate{
+		NumRange{Attr: "eph", Min: 50, Max: 150},
+		NumRange{Attr: "eph", Min: math.Inf(-1), Max: math.Inf(1)},
+		In{Attr: "district", Values: []string{"D1"}},
+		And{Residential(), Not{P: NumRange{Attr: "eph", Min: 100, Max: math.Inf(1)}}},
+		Or{InCity("Torino"), InCity("Milano")},
+	}
+	for _, p := range preds {
+		data, err := MarshalPredicate(p)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", p, err)
+		}
+		got, err := UnmarshalPredicate(data)
+		if err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Errorf("JSON round trip of %s = %#v, want %#v", data, got, p)
+		}
+	}
+}
+
+func TestPredicateJSONErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`{}`,
+		`{"op":"range"}`,
+		`{"op":"in","attr":"a"}`,
+		`{"op":"and"}`,
+		`{"op":"and","args":[]}`,
+		`{"op":"not"}`,
+		`{"op":"frobnicate","attr":"a"}`,
+		`{"op":"and","args":[{"op":"bad"}]}`,
+	}
+	for _, in := range bad {
+		if p, err := UnmarshalPredicate([]byte(in)); err == nil {
+			t.Errorf("UnmarshalPredicate(%q) = %v, want error", in, p)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on a bad query")
+		}
+	}()
+	MustParse("not a ( query")
+}
+
+// FuzzParseQuery asserts the parser never panics, and that for every
+// accepted input parse→String→parse is a fixed point: the canonical
+// rendering re-parses, renders identically, and selects the same rows.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"eph in [50, 150] and district = D1",
+		"class in {A1, B} or not (eph >= 300)",
+		`"weird attr" != "va l,ue"`,
+		"a in [-Inf, +Inf]",
+		"not not not x = y",
+		"((a = b))",
+		"zone in {1, 2, 3} and zone != 2",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := Parse(in)
+		if err != nil {
+			return
+		}
+		s := p.String()
+		p2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", s, in, err)
+		}
+		if s2 := p2.String(); s2 != s {
+			t.Fatalf("String not a fixed point: %q -> %q (input %q)", s, s2, in)
+		}
+	})
+}

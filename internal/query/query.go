@@ -3,6 +3,18 @@
 // stakeholder profiles (citizen, public administration, energy scientist)
 // that drive which attributes, granularity and report types the system
 // proposes to each end-user.
+//
+// Predicates form a boolean algebra (And/Or/Not) over two leaf
+// comparisons: numeric ranges and categorical membership. Evaluation uses
+// Kleene three-valued logic over the table's validity masks: a comparison
+// against an invalid (missing/NaN) cell is UNKNOWN, not false, so
+// negation never resurrects invalid rows — `not(eph in [a,b])` excludes a
+// NaN eph cell exactly like the positive form does. Only rows whose final
+// truth value is definitively TRUE are selected.
+//
+// Predicates round-trip through a compact textual form (Parse/String)
+// and a JSON encoding (MarshalPredicate/UnmarshalPredicate) for
+// programmatic clients.
 package query
 
 import (
@@ -16,113 +28,235 @@ import (
 
 // Predicate selects rows of a table. Implementations must be pure.
 type Predicate interface {
-	// Mask returns a keep-mask over the table's rows.
+	// Mask returns a keep-mask over the table's rows: true exactly for
+	// the rows whose three-valued evaluation is definitively TRUE.
 	Mask(t *table.Table) ([]bool, error)
-	// String renders the predicate for report headers.
+	// String renders the predicate in the textual DSL; the output
+	// re-parses (Parse) to an equivalent predicate.
 	String() string
 }
 
+// tri is a per-row Kleene truth assignment. T[i] marks rows that are
+// definitively true, F[i] rows that are definitively false; a row with
+// neither set is UNKNOWN (its cell was invalid).
+type tri struct{ T, F []bool }
+
+// evalTri evaluates a predicate under three-valued logic. Predicate
+// implementations outside this package fall back to their two-valued
+// Mask (no UNKNOWN rows).
+func evalTri(p Predicate, t *table.Table) (tri, error) {
+	switch p := p.(type) {
+	case NumRange:
+		return p.tri(t)
+	case In:
+		return p.tri(t)
+	case And:
+		return p.tri(t)
+	case Or:
+		return p.tri(t)
+	case Not:
+		return p.tri(t)
+	}
+	m, err := p.Mask(t)
+	if err != nil {
+		return tri{}, err
+	}
+	f := make([]bool, len(m))
+	for i, v := range m {
+		f[i] = !v
+	}
+	return tri{T: m, F: f}, nil
+}
+
 // NumRange keeps rows whose numeric attribute lies in [Min, Max]
-// (inclusive). Invalid cells never match.
+// (inclusive). Invalid cells evaluate UNKNOWN: they never match, under
+// negation either.
 type NumRange struct {
 	Attr     string
 	Min, Max float64
 }
 
-// Mask implements Predicate.
-func (p NumRange) Mask(t *table.Table) ([]bool, error) {
+func (p NumRange) tri(t *table.Table) (tri, error) {
 	vals, err := t.Floats(p.Attr)
 	if err != nil {
-		return nil, err
+		return tri{}, err
 	}
 	valid, _ := t.ValidMask(p.Attr)
-	out := make([]bool, len(vals))
+	tv := tri{T: make([]bool, len(vals)), F: make([]bool, len(vals))}
 	for i, v := range vals {
-		out[i] = valid[i] && v >= p.Min && v <= p.Max
+		if !valid[i] {
+			continue
+		}
+		in := v >= p.Min && v <= p.Max
+		tv.T[i] = in
+		tv.F[i] = !in
 	}
-	return out, nil
+	return tv, nil
+}
+
+// Mask implements Predicate.
+func (p NumRange) Mask(t *table.Table) ([]bool, error) {
+	tv, err := p.tri(t)
+	return tv.T, err
 }
 
 // String implements Predicate.
 func (p NumRange) String() string {
-	return fmt.Sprintf("%s in [%g, %g]", p.Attr, p.Min, p.Max)
+	return fmt.Sprintf("%s in [%g, %g]", quoteIdent(p.Attr), p.Min, p.Max)
 }
 
 // In keeps rows whose categorical attribute equals one of the values.
+// Invalid cells evaluate UNKNOWN: they never match, under negation
+// either.
 type In struct {
 	Attr   string
 	Values []string
 }
 
-// Mask implements Predicate.
-func (p In) Mask(t *table.Table) ([]bool, error) {
+func (p In) tri(t *table.Table) (tri, error) {
 	vals, err := t.Strings(p.Attr)
 	if err != nil {
-		return nil, err
+		return tri{}, err
 	}
 	valid, _ := t.ValidMask(p.Attr)
 	set := make(map[string]bool, len(p.Values))
 	for _, v := range p.Values {
 		set[v] = true
 	}
-	out := make([]bool, len(vals))
+	tv := tri{T: make([]bool, len(vals)), F: make([]bool, len(vals))}
 	for i, v := range vals {
-		out[i] = valid[i] && set[v]
+		if !valid[i] {
+			continue
+		}
+		in := set[v]
+		tv.T[i] = in
+		tv.F[i] = !in
 	}
-	return out, nil
+	return tv, nil
+}
+
+// Mask implements Predicate.
+func (p In) Mask(t *table.Table) ([]bool, error) {
+	tv, err := p.tri(t)
+	return tv.T, err
 }
 
 // String implements Predicate.
 func (p In) String() string {
-	return fmt.Sprintf("%s in {%s}", p.Attr, strings.Join(p.Values, ", "))
+	parts := make([]string, len(p.Values))
+	for i, v := range p.Values {
+		parts[i] = quoteValue(v)
+	}
+	return fmt.Sprintf("%s in {%s}", quoteIdent(p.Attr), strings.Join(parts, ", "))
 }
 
-// And keeps rows matching every sub-predicate.
+// And keeps rows matching every sub-predicate (Kleene conjunction: FALSE
+// if any conjunct is FALSE, TRUE if all are TRUE, otherwise UNKNOWN).
 type And []Predicate
 
-// Mask implements Predicate.
-func (p And) Mask(t *table.Table) ([]bool, error) {
+func (p And) tri(t *table.Table) (tri, error) {
 	if len(p) == 0 {
-		return nil, errors.New("query: empty conjunction")
+		return tri{}, errors.New("query: empty conjunction")
 	}
-	acc, err := p[0].Mask(t)
+	acc, err := evalTri(p[0], t)
 	if err != nil {
-		return nil, err
+		return tri{}, err
 	}
 	for _, sub := range p[1:] {
-		m, err := sub.Mask(t)
+		m, err := evalTri(sub, t)
 		if err != nil {
-			return nil, err
+			return tri{}, err
 		}
-		for i := range acc {
-			acc[i] = acc[i] && m[i]
+		for i := range acc.T {
+			acc.T[i] = acc.T[i] && m.T[i]
+			acc.F[i] = acc.F[i] || m.F[i]
 		}
 	}
 	return acc, nil
+}
+
+// Mask implements Predicate.
+func (p And) Mask(t *table.Table) ([]bool, error) {
+	tv, err := p.tri(t)
+	return tv.T, err
 }
 
 // String implements Predicate.
 func (p And) String() string {
 	parts := make([]string, len(p))
 	for i, sub := range p {
-		parts[i] = sub.String()
+		parts[i] = groupString(sub)
 	}
 	return strings.Join(parts, " AND ")
 }
 
-// Not inverts a predicate.
+// Or keeps rows matching any sub-predicate (Kleene disjunction: TRUE if
+// any disjunct is TRUE, FALSE if all are FALSE, otherwise UNKNOWN).
+type Or []Predicate
+
+func (p Or) tri(t *table.Table) (tri, error) {
+	if len(p) == 0 {
+		return tri{}, errors.New("query: empty disjunction")
+	}
+	acc, err := evalTri(p[0], t)
+	if err != nil {
+		return tri{}, err
+	}
+	for _, sub := range p[1:] {
+		m, err := evalTri(sub, t)
+		if err != nil {
+			return tri{}, err
+		}
+		for i := range acc.T {
+			acc.T[i] = acc.T[i] || m.T[i]
+			acc.F[i] = acc.F[i] && m.F[i]
+		}
+	}
+	return acc, nil
+}
+
+// Mask implements Predicate.
+func (p Or) Mask(t *table.Table) ([]bool, error) {
+	tv, err := p.tri(t)
+	return tv.T, err
+}
+
+// String implements Predicate.
+func (p Or) String() string {
+	parts := make([]string, len(p))
+	for i, sub := range p {
+		parts[i] = groupString(sub)
+	}
+	return strings.Join(parts, " OR ")
+}
+
+// groupString renders a sub-predicate of a composite, parenthesizing
+// nested composites so the rendering re-parses with the same structure.
+func groupString(p Predicate) string {
+	switch p.(type) {
+	case And, Or:
+		return "(" + p.String() + ")"
+	}
+	return p.String()
+}
+
+// Not inverts a predicate. UNKNOWN stays UNKNOWN: rows with invalid
+// cells match neither a comparison nor its negation.
 type Not struct{ P Predicate }
+
+func (p Not) tri(t *table.Table) (tri, error) {
+	m, err := evalTri(p.P, t)
+	if err != nil {
+		return tri{}, err
+	}
+	m.T, m.F = m.F, m.T
+	return m, nil
+}
 
 // Mask implements Predicate.
 func (p Not) Mask(t *table.Table) ([]bool, error) {
-	m, err := p.P.Mask(t)
-	if err != nil {
-		return nil, err
-	}
-	for i := range m {
-		m[i] = !m[i]
-	}
-	return m, nil
+	tv, err := p.tri(t)
+	return tv.T, err
 }
 
 // String implements Predicate.

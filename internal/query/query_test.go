@@ -75,13 +75,77 @@ func TestAndNot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Residential Torino rows: 0, 1, 3; NOT eph>=100 removes row 1;
-	// row 3 has NaN eph so NOT(match)=true keeps it.
-	if got.NumRows() != 2 {
+	// Residential Torino rows: 0, 1, 3; NOT eph in [100,1e9] removes
+	// row 1, and row 3 (NaN eph) is UNKNOWN — invalid cells never match,
+	// under negation either. Only row 0 survives.
+	if got.NumRows() != 1 {
 		t.Fatalf("rows = %d", got.NumRows())
 	}
 	if s := p.String(); !strings.Contains(s, "AND") || !strings.Contains(s, "NOT") {
 		t.Fatalf("String = %q", s)
+	}
+}
+
+// TestInvalidCellsNeverMatch pins the three-valued NaN/invalid
+// semantics: a comparison against an invalid cell is UNKNOWN, so the row
+// is excluded from the predicate, from its negation, and from any
+// double negation — not() must not resurrect NaN rows.
+func TestInvalidCellsNeverMatch(t *testing.T) {
+	tab := table.New()
+	if err := tab.AddFloats("eph", []float64{50, math.NaN(), 300}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddStringsValid("district", []string{"D1", "D2", ""}, []bool{true, true, false}); err != nil {
+		t.Fatal(err)
+	}
+	rng := NumRange{Attr: "eph", Min: 0, Max: 100}
+	in := In{Attr: "district", Values: []string{"D1", "D2"}}
+	cases := []struct {
+		name string
+		p    Predicate
+		want []bool // row 1 has NaN eph, row 2 an invalid district
+	}{
+		{"range", rng, []bool{true, false, false}},
+		{"not-range", Not{rng}, []bool{false, false, true}},
+		{"not-not-range", Not{Not{rng}}, []bool{true, false, false}},
+		{"in", in, []bool{true, true, false}},
+		{"not-in", Not{in}, []bool{false, false, false}},
+		{"not-not-in", Not{Not{in}}, []bool{true, true, false}},
+		// De Morgan: NOT(a AND b) == NOT a OR NOT b, with UNKNOWN rows in
+		// neither side.
+		{"not-and", Not{And{rng, in}}, []bool{false, false, true}},
+		{"or-of-nots", Or{Not{rng}, Not{in}}, []bool{false, false, true}},
+		// An OR where one side is UNKNOWN and the other TRUE is TRUE;
+		// UNKNOWN OR FALSE stays UNKNOWN.
+		{"or-unknown-true", Or{rng, in}, []bool{true, true, false}},
+		{"and-unknown", And{Not{rng}, in}, []bool{false, false, false}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.p.Mask(tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Fatalf("mask = %v, want %v (predicate %s)", got, tc.want, tc.p)
+				}
+			}
+		})
+	}
+}
+
+func TestOr(t *testing.T) {
+	tab := sample(t)
+	got, err := Select(tab, Or{InCity("Milano"), NumRange{Attr: "eph", Min: 250, Max: 400}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 2 { // Milano row 2, eph=300 row 4
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	if _, err := Select(tab, Or{}); err == nil {
+		t.Fatal("want error for empty disjunction")
 	}
 }
 

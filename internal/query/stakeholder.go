@@ -23,6 +23,11 @@ const (
 	EnergyScientist Stakeholder = "energy-scientist"
 )
 
+// Stakeholders lists every stakeholder category, in presentation order.
+func Stakeholders() []Stakeholder {
+	return []Stakeholder{Citizen, PublicAdministration, EnergyScientist}
+}
+
 // ParseStakeholder converts a name to a Stakeholder.
 func ParseStakeholder(s string) (Stakeholder, error) {
 	switch Stakeholder(s) {

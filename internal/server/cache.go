@@ -1,0 +1,94 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// queryCache is the LRU result cache behind /api/query. Entries are
+// keyed by (snapshot epoch, canonical query, output options), so a
+// response computed under one published state can never serve another:
+// a refresh publishes a new epoch, every key changes, and the stale
+// generation is purged eagerly the first time the new epoch is seen.
+type queryCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+	epoch    uint64
+	hits     uint64
+	misses   uint64
+}
+
+type cacheEntry struct {
+	key string
+	val *queryResponse
+}
+
+func newQueryCache(capacity int) *queryCache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &queryCache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element, capacity),
+	}
+}
+
+// sync drops every entry of earlier epochs once a newer one is seen.
+// Caller holds c.mu.
+func (c *queryCache) sync(epoch uint64) {
+	if epoch <= c.epoch {
+		return
+	}
+	c.epoch = epoch
+	c.ll.Init()
+	c.entries = make(map[string]*list.Element, c.capacity)
+}
+
+// get returns the cached response for key at the given epoch, if any.
+func (c *queryCache) get(epoch uint64, key string) (*queryResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sync(epoch)
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put stores a response computed at the given epoch, evicting the least
+// recently used entry beyond capacity. Responses from epochs older than
+// the newest seen are not cached (their published state is already
+// superseded).
+func (c *queryCache) put(epoch uint64, key string, val *queryResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sync(epoch)
+	if epoch != c.epoch {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// stats returns the hit/miss counters and current size.
+func (c *queryCache) stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

@@ -1,0 +1,465 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"indice/internal/geo"
+	"indice/internal/parallel"
+	"indice/internal/query"
+	"indice/internal/stats"
+	"indice/internal/store"
+	"indice/internal/table"
+)
+
+// maxQueryRows caps one /api/query row page; larger requests are
+// clamped, with Limit in the response reporting the effective value.
+const maxQueryRows = 1000
+
+// queryRequest is the POST /api/query body. GET carries the same fields
+// as URL parameters (q, preset, attrs, by, limit, offset), minus the
+// JSON predicate form.
+type queryRequest struct {
+	// Q is the textual DSL form; Predicate the JSON encoding. At most
+	// one may be set; the selection combines (AND) with the preset's.
+	Q         string          `json:"q,omitempty"`
+	Predicate json.RawMessage `json:"predicate,omitempty"`
+	// Preset names a stakeholder whose default selection and attribute
+	// set seed the query.
+	Preset string `json:"preset,omitempty"`
+	// Attrs are the numeric attributes to summarize; default: the
+	// preset's attribute set, or none.
+	Attrs []string `json:"attrs,omitempty"`
+	// By groups matched rows by a categorical attribute.
+	By string `json:"by,omitempty"`
+	// Limit/Offset page matched rows into the response; Limit 0 returns
+	// summaries only.
+	Limit  int `json:"limit,omitempty"`
+	Offset int `json:"offset,omitempty"`
+}
+
+// attrStats is one attribute summary of a query response.
+type attrStats struct {
+	Attr   string  `json:"attr"`
+	Count  int     `json:"count"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Q1     float64 `json:"q1"`
+	Median float64 `json:"median"`
+	Q3     float64 `json:"q3"`
+	Max    float64 `json:"max"`
+}
+
+// groupStats is one ?by= group of a query response.
+type groupStats struct {
+	Value string `json:"value"`
+	Count int    `json:"count"`
+	// Means holds the per-attribute mean over the group's valid cells;
+	// attributes with no valid cell in the group are omitted.
+	Means map[string]float64 `json:"means,omitempty"`
+}
+
+// presetInfo echoes the stakeholder preset applied to a query.
+type presetInfo struct {
+	Stakeholder query.Stakeholder  `json:"stakeholder"`
+	Attributes  []string           `json:"attributes"`
+	Response    string             `json:"response"`
+	Level       geo.Level          `json:"level"`
+	Reports     []query.ReportKind `json:"reports"`
+	Selection   string             `json:"selection,omitempty"`
+}
+
+// queryResponse is the JSON shape of /api/query.
+type queryResponse struct {
+	// Epoch is the snapshot epoch the response was computed under (0 in
+	// static mode); every field is consistent with that one snapshot.
+	Epoch     uint64 `json:"epoch"`
+	StoreRows int    `json:"store_rows"`
+	Matched   int    `json:"matched"`
+	// Query is the canonical rendering of the effective predicate
+	// (empty = select all); it re-parses to an equivalent predicate.
+	Query  string           `json:"query"`
+	Cached bool             `json:"cached"`
+	Plan   *store.PlanStats `json:"plan,omitempty"`
+	Preset *presetInfo      `json:"preset,omitempty"`
+	Stats  []attrStats      `json:"stats,omitempty"`
+	Groups []groupStats     `json:"groups,omitempty"`
+	Rows   []map[string]any `json:"rows,omitempty"`
+	Limit  int              `json:"limit"`
+	Offset int              `json:"offset"`
+}
+
+// parseQueryRequest extracts a queryRequest from either the URL (GET)
+// or the JSON body (POST).
+func parseQueryRequest(r *http.Request) (*queryRequest, error) {
+	if r.Method == http.MethodPost {
+		var req queryRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return nil, fmt.Errorf("bad JSON body: %w", err)
+		}
+		return &req, nil
+	}
+	q := r.URL.Query()
+	req := &queryRequest{
+		Q:      q.Get("q"),
+		Preset: q.Get("preset"),
+		By:     q.Get("by"),
+	}
+	if raw := q.Get("attrs"); raw != "" {
+		for _, a := range strings.Split(raw, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				req.Attrs = append(req.Attrs, a)
+			}
+		}
+	}
+	var err error
+	if req.Limit, err = intParam(q.Get("limit")); err != nil {
+		return nil, fmt.Errorf("bad limit: %w", err)
+	}
+	if req.Offset, err = intParam(q.Get("offset")); err != nil {
+		return nil, fmt.Errorf("bad offset: %w", err)
+	}
+	return req, nil
+}
+
+func intParam(raw string) (int, error) {
+	if raw == "" {
+		return 0, nil
+	}
+	return strconv.Atoi(raw)
+}
+
+// resolveQuery turns a request into the effective predicate, attribute
+// list and preset echo. The preset's default selection ANDs with the
+// request's own predicate; explicit attrs override the preset's.
+func resolveQuery(req *queryRequest) (query.Predicate, []string, *presetInfo, error) {
+	if req.Q != "" && len(req.Predicate) > 0 {
+		return nil, nil, nil, errors.New("set either q or predicate, not both")
+	}
+	var pred query.Predicate
+	var err error
+	switch {
+	case req.Q != "":
+		if pred, err = query.Parse(req.Q); err != nil {
+			return nil, nil, nil, err
+		}
+	case len(req.Predicate) > 0:
+		if pred, err = query.UnmarshalPredicate(req.Predicate); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	attrs := req.Attrs
+	var preset *presetInfo
+	if req.Preset != "" {
+		st, err := query.ParseStakeholder(req.Preset)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		prop, err := query.ProposalFor(st)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		preset = &presetInfo{
+			Stakeholder: prop.Stakeholder,
+			Attributes:  prop.Attributes,
+			Response:    prop.Response,
+			Level:       prop.Level,
+			Reports:     prop.Reports,
+		}
+		if prop.Selection != nil {
+			preset.Selection = prop.Selection.String()
+			if pred != nil {
+				pred = query.And{prop.Selection, pred}
+			} else {
+				pred = prop.Selection
+			}
+		}
+		if len(attrs) == 0 {
+			attrs = prop.Attributes
+		}
+	}
+	return pred, attrs, preset, nil
+}
+
+// handleQuery serves the stakeholder query engine: predicate selection
+// with filtered summaries, grouped statistics and row pages, computed
+// on the published snapshot (live mode, planner pushdown) or the frozen
+// engine table (static mode) and cached per (epoch, canonical query).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, err := parseQueryRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), badBodyStatus(err))
+		return
+	}
+	pred, attrs, preset, err := resolveQuery(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Limit < 0 || req.Offset < 0 {
+		http.Error(w, "limit and offset must be non-negative", http.StatusBadRequest)
+		return
+	}
+	if req.Limit > maxQueryRows {
+		req.Limit = maxQueryRows
+	}
+
+	canonical := ""
+	if pred != nil {
+		canonical = pred.String()
+	}
+
+	var (
+		epoch     uint64
+		storeRows int
+		matched   *table.Table
+		plan      *store.PlanStats
+	)
+	if s.live != nil {
+		pub := s.live.Current()
+		if pub == nil || pub.Snapshot == nil {
+			http.Error(w, errNotPublished.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		epoch = pub.Epoch
+		if key, ok := s.cacheKey(epoch, canonical, attrs, req); ok {
+			if resp, hit := s.cache.get(epoch, key); hit {
+				cached := *resp
+				cached.Cached = true
+				writeJSON(w, &cached)
+				return
+			}
+		}
+		storeRows = pub.Snapshot.NumRows()
+		tab, ps, err := pub.Snapshot.Query(pred, parallel.Auto)
+		if err != nil {
+			http.Error(w, err.Error(), queryErrStatus(err))
+			return
+		}
+		matched, plan = tab, &ps
+	} else {
+		eng, _, ok := s.serveState(w)
+		if !ok {
+			return
+		}
+		if key, ok := s.cacheKey(0, canonical, attrs, req); ok {
+			if resp, hit := s.cache.get(0, key); hit {
+				cached := *resp
+				cached.Cached = true
+				writeJSON(w, &cached)
+				return
+			}
+		}
+		storeRows = eng.Table().NumRows()
+		if pred == nil {
+			matched = eng.Table()
+		} else {
+			if matched, err = query.Select(eng.Table(), pred); err != nil {
+				http.Error(w, err.Error(), queryErrStatus(err))
+				return
+			}
+		}
+	}
+
+	resp := &queryResponse{
+		Epoch:     epoch,
+		StoreRows: storeRows,
+		Matched:   matched.NumRows(),
+		Query:     canonical,
+		Plan:      plan,
+		Preset:    preset,
+		Limit:     req.Limit,
+		Offset:    req.Offset,
+	}
+	if resp.Stats, err = summarize(matched, attrs); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.By != "" {
+		if resp.Groups, err = groupBy(matched, req.By, attrs); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if req.Limit > 0 {
+		if resp.Rows, err = rowPage(matched, req.Offset, req.Limit); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if key, ok := s.cacheKey(epoch, canonical, attrs, req); ok {
+		s.cache.put(epoch, key, resp)
+	}
+	writeJSON(w, resp)
+}
+
+// cacheKey canonicalizes the output options into the cache key. The
+// epoch is embedded defensively even though the cache also partitions
+// by it. Attrs render via %q (each element escaped and quoted) so a
+// single element containing a comma cannot collide with a multi-element
+// list.
+func (s *Server) cacheKey(epoch uint64, canonical string, attrs []string, req *queryRequest) (string, bool) {
+	if s.cache == nil {
+		return "", false
+	}
+	return fmt.Sprintf("%d\x00%s\x00%q\x00%q\x00%d\x00%d",
+		epoch, canonical, attrs, req.By, req.Limit, req.Offset), true
+}
+
+// queryErrStatus maps predicate evaluation failures onto 400 for client
+// mistakes (unknown attribute, type mismatch) and 500 otherwise.
+func queryErrStatus(err error) int {
+	if errors.Is(err, table.ErrNoColumn) || errors.Is(err, table.ErrTypeMismatch) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// summarize computes the distribution summary of each requested numeric
+// attribute over the matched rows.
+func summarize(tab *table.Table, attrs []string) ([]attrStats, error) {
+	out := make([]attrStats, 0, len(attrs))
+	for _, attr := range attrs {
+		vals, err := tab.ValidFloats(attr)
+		if err != nil {
+			return nil, err
+		}
+		as := attrStats{Attr: attr, Count: len(vals)}
+		if d, err := stats.Describe(vals); err == nil {
+			as = attrStats{
+				Attr: attr, Count: d.Count, Mean: d.Mean, StdDev: d.StdDev,
+				Min: d.Min, Q1: d.Q1, Median: d.Median, Q3: d.Q3, Max: d.Max,
+			}
+		}
+		out = append(out, as)
+	}
+	return out, nil
+}
+
+// groupBy aggregates the matched rows by a categorical attribute:
+// per-value row count plus the mean of each summarized attribute.
+// Invalid cells group under "" like Table.GroupByString. Groups are
+// sorted by value for deterministic output.
+func groupBy(tab *table.Table, by string, attrs []string) ([]groupStats, error) {
+	groups, err := tab.GroupByString(by)
+	if err != nil {
+		return nil, err
+	}
+	cols := make(map[string][]float64, len(attrs))
+	masks := make(map[string][]bool, len(attrs))
+	for _, attr := range attrs {
+		vals, err := tab.Floats(attr)
+		if err != nil {
+			return nil, err
+		}
+		cols[attr] = vals
+		masks[attr], _ = tab.ValidMask(attr)
+	}
+	out := make([]groupStats, 0, len(groups))
+	for val, rows := range groups {
+		g := groupStats{Value: val, Count: len(rows)}
+		for _, attr := range attrs {
+			sum, n := 0.0, 0
+			vals, mask := cols[attr], masks[attr]
+			for _, r := range rows {
+				if mask[r] {
+					sum += vals[r]
+					n++
+				}
+			}
+			if n > 0 {
+				if g.Means == nil {
+					g.Means = make(map[string]float64, len(attrs))
+				}
+				g.Means[attr] = sum / float64(n)
+			}
+		}
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out, nil
+}
+
+// rowPage materializes one page of matched rows as attribute/value
+// objects; invalid cells render as null.
+func rowPage(tab *table.Table, offset, limit int) ([]map[string]any, error) {
+	n := tab.NumRows()
+	if offset >= n {
+		return []map[string]any{}, nil
+	}
+	end := offset + limit
+	if end > n {
+		end = n
+	}
+	schema := tab.Schema()
+	type column struct {
+		field  table.Field
+		valid  []bool
+		floats []float64
+		strs   []string
+	}
+	cols := make([]column, len(schema))
+	for i, f := range schema {
+		cols[i].field = f
+		cols[i].valid, _ = tab.ValidMask(f.Name)
+		if f.Type == table.Float64 {
+			cols[i].floats, _ = tab.Floats(f.Name)
+		} else {
+			cols[i].strs, _ = tab.Strings(f.Name)
+		}
+	}
+	rows := make([]map[string]any, 0, end-offset)
+	for r := offset; r < end; r++ {
+		row := make(map[string]any, len(schema))
+		for _, c := range cols {
+			switch {
+			case !c.valid[r]:
+				row[c.field.Name] = nil
+			case c.field.Type == table.Float64:
+				if v := c.floats[r]; math.IsNaN(v) || math.IsInf(v, 0) {
+					row[c.field.Name] = nil
+				} else {
+					row[c.field.Name] = v
+				}
+			default:
+				row[c.field.Name] = c.strs[r]
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// handlePresets lists the stakeholder query presets: default selection,
+// attribute set, granularity and proposed reports per profile.
+func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
+	out := make([]presetInfo, 0, 3)
+	for _, st := range query.Stakeholders() {
+		prop, err := query.ProposalFor(st)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		info := presetInfo{
+			Stakeholder: prop.Stakeholder,
+			Attributes:  prop.Attributes,
+			Response:    prop.Response,
+			Level:       prop.Level,
+			Reports:     prop.Reports,
+		}
+		if prop.Selection != nil {
+			info.Selection = prop.Selection.String()
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, out)
+}

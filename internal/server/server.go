@@ -47,10 +47,11 @@ const (
 // Server serves the dashboards of one engine (static mode) or of a live
 // ingestion loop (live mode).
 type Server struct {
-	eng  *core.Engine
-	an   *core.Analysis
-	live *core.Live
-	mux  *http.ServeMux
+	eng   *core.Engine
+	an    *core.Analysis
+	live  *core.Live
+	mux   *http.ServeMux
+	cache *queryCache
 }
 
 // New builds a static Server over a preprocessed engine. The engine is
@@ -60,7 +61,7 @@ func New(eng *core.Engine, an *core.Analysis) (*Server, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("server: nil engine")
 	}
-	s := &Server{eng: eng, an: an}
+	s := &Server{eng: eng, an: an, cache: newQueryCache(0)}
 	s.routes()
 	return s, nil
 }
@@ -72,31 +73,40 @@ func NewLive(live *core.Live) (*Server, error) {
 	if live == nil {
 		return nil, fmt.Errorf("server: nil live loop")
 	}
-	s := &Server{live: live}
+	s := &Server{live: live, cache: newQueryCache(0)}
 	s.routes()
 	return s, nil
 }
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
-	s.handle("/", http.MethodGet, maxSmallBody, s.handleIndex)
-	s.handle("/dashboard/", http.MethodGet, maxSmallBody, s.handleDashboard)
-	s.handle("/map", http.MethodGet, maxSmallBody, s.handleMap)
-	s.handle("/api/stats", http.MethodGet, maxSmallBody, s.handleStats)
-	s.handle("/api/zones", http.MethodGet, maxSmallBody, s.handleZones)
-	s.handle("/api/rules", http.MethodGet, maxSmallBody, s.handleRules)
-	s.handle("/api/clusters", http.MethodGet, maxSmallBody, s.handleClusters)
-	s.handle("/api/store", http.MethodGet, maxSmallBody, s.handleStore)
-	s.handle("/api/ingest", http.MethodPost, maxIngestBody, s.handleIngest)
-	s.handle("/api/refresh", http.MethodPost, maxSmallBody, s.handleRefresh)
+	s.handle("/", maxSmallBody, s.handleIndex, http.MethodGet)
+	s.handle("/dashboard/", maxSmallBody, s.handleDashboard, http.MethodGet)
+	s.handle("/map", maxSmallBody, s.handleMap, http.MethodGet)
+	s.handle("/api/stats", maxSmallBody, s.handleStats, http.MethodGet)
+	s.handle("/api/zones", maxSmallBody, s.handleZones, http.MethodGet)
+	s.handle("/api/rules", maxSmallBody, s.handleRules, http.MethodGet)
+	s.handle("/api/clusters", maxSmallBody, s.handleClusters, http.MethodGet)
+	s.handle("/api/query", maxSmallBody, s.handleQuery, http.MethodGet, http.MethodPost)
+	s.handle("/api/presets", maxSmallBody, s.handlePresets, http.MethodGet)
+	s.handle("/api/store", maxSmallBody, s.handleStore, http.MethodGet)
+	s.handle("/api/ingest", maxIngestBody, s.handleIngest, http.MethodPost)
+	s.handle("/api/refresh", maxSmallBody, s.handleRefresh, http.MethodPost)
 }
 
-// handle registers a route enforcing the request method (HEAD rides along
-// with GET) and bounding the request body.
-func (s *Server) handle(pattern, method string, maxBody int64, h http.HandlerFunc) {
+// handle registers a route enforcing the allowed request methods (HEAD
+// rides along with GET) and bounding the request body.
+func (s *Server) handle(pattern string, maxBody int64, h http.HandlerFunc, methods ...string) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != method && !(method == http.MethodGet && r.Method == http.MethodHead) {
-			w.Header().Set("Allow", method)
+		allowed := false
+		for _, m := range methods {
+			if r.Method == m || (m == http.MethodGet && r.Method == http.MethodHead) {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			w.Header().Set("Allow", strings.Join(methods, ", "))
 			http.Error(w, fmt.Sprintf("method %s not allowed", r.Method), http.StatusMethodNotAllowed)
 			return
 		}
@@ -172,6 +182,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"/api/zones?level=district&attr=" + epc.AttrEPH,
 		"/api/rules?k=10",
 		"/api/clusters",
+		"/api/query?preset=pa&by=" + epc.AttrDistrict,
+		"/api/presets",
 	}
 	if s.live != nil {
 		apis = append(apis, "/api/store")
@@ -543,6 +555,14 @@ type storeResponse struct {
 	// ahead of the published analysis the other APIs serve.
 	LiveStats  *liveStatsInfo `json:"live_stats,omitempty"`
 	LiveCounts map[string]int `json:"live_counts,omitempty"`
+	QueryCache *cacheInfo     `json:"query_cache,omitempty"`
+}
+
+// cacheInfo summarizes the /api/query result cache.
+type cacheInfo struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Size   int    `json:"size"`
 }
 
 type liveStatsInfo struct {
@@ -594,6 +614,10 @@ func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
 	}
 	if msg, _ := s.live.LastError(); msg != "" {
 		resp.LastError = msg
+	}
+	if s.cache != nil {
+		hits, misses, size := s.cache.stats()
+		resp.QueryCache = &cacheInfo{Hits: hits, Misses: misses, Size: size}
 	}
 	if pub := s.live.Current(); pub != nil {
 		resp.Published = &publishedInfo{

@@ -1,0 +1,348 @@
+package store
+
+import (
+	"fmt"
+
+	"indice/internal/parallel"
+	"indice/internal/query"
+	"indice/internal/table"
+)
+
+// PlanStats reports how a snapshot query was executed: how much of the
+// predicate the planner pushed down to the per-shard secondary indexes
+// and Welford statistics, and how many rows the masked scan still had to
+// touch. It is diagnostic output; the result table is bitwise-identical
+// to a naive full scan regardless of the plan.
+type PlanStats struct {
+	// Shards is the snapshot's shard count; PrunedShards of them were
+	// skipped outright (an index conjunct matched nothing there, or a
+	// range conjunct lies wholly outside the shard's observed min/max).
+	Shards       int `json:"shards"`
+	PrunedShards int `json:"pruned_shards"`
+	// IndexedShards used secondary-index candidate lists instead of
+	// scanning every row.
+	IndexedShards int `json:"indexed_shards"`
+	// CandidateRows counts rows evaluated from index candidate lists;
+	// ScannedRows counts rows evaluated by segment scans on shards the
+	// planner could not narrow.
+	CandidateRows int `json:"candidate_rows"`
+	ScannedRows   int `json:"scanned_rows"`
+	// MatchedRows is the result size.
+	MatchedRows int `json:"matched_rows"`
+}
+
+// shardResult is one shard's contribution to a query.
+type shardResult struct {
+	tab     *table.Table
+	pruned  bool
+	indexed bool
+	cand    int
+	scanned int
+	err     error
+}
+
+// Query evaluates a predicate over the snapshot, returning the matching
+// rows as one table in snapshot order (shard order, segment order within
+// each shard, row order within each segment) — exactly the order of
+// Table().FilterMask on the same predicate.
+//
+// The planner decomposes the predicate's top-level conjunction and
+// pushes two conjunct shapes down to the per-shard structures:
+//
+//   - query.In on an indexed categorical attribute resolves to the union
+//     of the secondary-index postings, intersected across such conjuncts,
+//     so only candidate rows are ever materialized and re-checked;
+//   - query.NumRange on a statistics-tracked numeric attribute prunes
+//     every shard whose observed [min, max] cannot intersect the range
+//     (or that holds no valid value at all).
+//
+// Everything else — negations, disjunctions, ranges on untracked
+// attributes — is evaluated by a masked scan over the remaining
+// candidates or segments. Shards are processed on workers goroutines
+// (see parallel.Workers); the result is identical at any parallelism.
+func (sn *Snapshot) Query(p query.Predicate, workers int) (*table.Table, PlanStats, error) {
+	ps := PlanStats{Shards: len(sn.segs)}
+	if p == nil {
+		tab, err := sn.Table()
+		if err != nil {
+			return nil, ps, err
+		}
+		ps.MatchedRows = tab.NumRows()
+		return tab, ps, nil
+	}
+	pushIn, pushRange := pushdown(p, sn)
+
+	results := parallel.Map(len(sn.segs), workers, func(i int) shardResult {
+		return sn.queryShard(i, p, pushIn, pushRange)
+	})
+
+	out, err := table.NewWithSchema(sn.schema)
+	if err != nil {
+		return nil, ps, err
+	}
+	for _, r := range results {
+		if r.err != nil {
+			return nil, ps, fmt.Errorf("store: query: %w", r.err)
+		}
+		if r.pruned {
+			ps.PrunedShards++
+		}
+		if r.indexed {
+			ps.IndexedShards++
+		}
+		ps.CandidateRows += r.cand
+		ps.ScannedRows += r.scanned
+		if r.tab != nil && r.tab.NumRows() > 0 {
+			if err := out.AppendTable(r.tab); err != nil {
+				return nil, ps, fmt.Errorf("store: query: %w", err)
+			}
+		}
+	}
+	ps.MatchedRows = out.NumRows()
+	return out, ps, nil
+}
+
+// FullScan evaluates the predicate over the materialized snapshot table
+// with no planning — the reference path the planner must match bitwise.
+func (sn *Snapshot) FullScan(p query.Predicate) (*table.Table, error) {
+	tab, err := sn.Table()
+	if err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return tab, nil
+	}
+	mask, err := p.Mask(tab)
+	if err != nil {
+		return nil, fmt.Errorf("store: query: %w", err)
+	}
+	return tab.FilterMask(mask)
+}
+
+// pushdown splits the predicate's top-level AND spine into the conjunct
+// shapes the per-shard structures can serve. A conjunct is pushable when
+// selecting on it per shard cannot lose rows of the overall conjunction:
+//
+//   - In conjuncts on an indexed attribute with no empty-string value
+//     (the index skips empty values, so "" must fall back to scanning);
+//   - NumRange conjuncts on a statistics-tracked attribute (used for
+//     pruning only — a shard whose summary excludes the range has no row
+//     satisfying the conjunction).
+//
+// Nested Not/Or structure is never pushed; it stays in the residual
+// predicate evaluated over the candidates.
+func pushdown(p query.Predicate, sn *Snapshot) (pushIn []query.In, pushRange []query.NumRange) {
+	for _, c := range flattenAnd(p, nil) {
+		switch c := c.(type) {
+		case query.In:
+			if len(c.Values) == 0 || !sn.indexed(c.Attr) {
+				continue
+			}
+			clean := true
+			for _, v := range c.Values {
+				if v == "" {
+					clean = false
+					break
+				}
+			}
+			if clean {
+				pushIn = append(pushIn, c)
+			}
+		case query.NumRange:
+			if _, ok := sn.stats[c.Attr]; ok {
+				pushRange = append(pushRange, c)
+			}
+		}
+	}
+	return pushIn, pushRange
+}
+
+// flattenAnd collects the conjuncts of the predicate's AND spine,
+// recursing through nested Ands (composed queries like
+// And{preset, And{a, b}} carry pushable conjuncts one level down —
+// AND is associative, so every level of the spine constrains all rows).
+func flattenAnd(p query.Predicate, acc []query.Predicate) []query.Predicate {
+	if and, ok := p.(query.And); ok {
+		for _, c := range and {
+			acc = flattenAnd(c, acc)
+		}
+		return acc
+	}
+	return append(acc, p)
+}
+
+// indexed reports whether attr has a secondary index in every shard.
+func (sn *Snapshot) indexed(attr string) bool {
+	if len(sn.index) == 0 {
+		return false
+	}
+	for _, idx := range sn.index {
+		if _, ok := idx[attr]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// queryShard evaluates the predicate over one shard, using index
+// candidates and stats pruning where the pushdown allows.
+func (sn *Snapshot) queryShard(i int, p query.Predicate, pushIn []query.In, pushRange []query.NumRange) shardResult {
+	segs := sn.segs[i]
+	rows := 0
+	for _, seg := range segs {
+		rows += seg.NumRows()
+	}
+	empty := func(pruned bool) shardResult {
+		tab, err := table.NewWithSchema(sn.schema)
+		return shardResult{tab: tab, pruned: pruned && rows > 0, err: err}
+	}
+	if rows == 0 {
+		return empty(false)
+	}
+
+	// Welford pruning: a range conjunct no valid value of this shard can
+	// satisfy makes the whole conjunction false (or unknown) shard-wide.
+	for _, r := range pushRange {
+		rs, ok := sn.shardStats[i][r.Attr]
+		if !ok {
+			continue
+		}
+		if rs.Count == 0 || rs.Min > r.Max || rs.Max < r.Min {
+			return empty(true)
+		}
+	}
+
+	// Index candidates: intersect the postings of every pushable In.
+	var cand []int
+	useIndex := false
+	for _, in := range pushIn {
+		byVal := sn.index[i][in.Attr]
+		var ids []int
+		for _, v := range in.Values {
+			ids = unionSorted(ids, byVal[v])
+		}
+		if !useIndex {
+			cand, useIndex = ids, true
+		} else {
+			cand = intersectSorted(cand, ids)
+		}
+		if len(cand) == 0 {
+			return empty(true)
+		}
+	}
+
+	if !useIndex {
+		// Fallback: masked scan over every segment.
+		out, err := table.NewWithSchema(sn.schema)
+		if err != nil {
+			return shardResult{err: err}
+		}
+		for _, seg := range segs {
+			mask, err := p.Mask(seg)
+			if err != nil {
+				return shardResult{err: err}
+			}
+			sub, err := seg.FilterMask(mask)
+			if err != nil {
+				return shardResult{err: err}
+			}
+			if sub.NumRows() > 0 {
+				if err := out.AppendTable(sub); err != nil {
+					return shardResult{err: err}
+				}
+			}
+		}
+		return shardResult{tab: out, scanned: rows}
+	}
+
+	// Candidate path: materialize only the candidate ordinals (ascending,
+	// so snapshot order is preserved) and re-check the full predicate on
+	// them — the residual Not/Or/range structure evaluates on this
+	// sub-table exactly as it would row-wise on the full shard.
+	out, err := table.NewWithSchema(sn.schema)
+	if err != nil {
+		return shardResult{err: err}
+	}
+	base := 0
+	k := 0
+	for _, seg := range segs {
+		n := seg.NumRows()
+		lo := k
+		for k < len(cand) && cand[k] < base+n {
+			k++
+		}
+		if k > lo {
+			local := make([]int, k-lo)
+			for j := lo; j < k; j++ {
+				local[j-lo] = cand[j] - base
+			}
+			sub, err := seg.Take(local)
+			if err != nil {
+				return shardResult{err: err}
+			}
+			mask, err := p.Mask(sub)
+			if err != nil {
+				return shardResult{err: err}
+			}
+			keep, err := sub.FilterMask(mask)
+			if err != nil {
+				return shardResult{err: err}
+			}
+			if keep.NumRows() > 0 {
+				if err := out.AppendTable(keep); err != nil {
+					return shardResult{err: err}
+				}
+			}
+		}
+		base += n
+	}
+	return shardResult{tab: out, indexed: true, cand: len(cand)}
+}
+
+// unionSorted merges two ascending int slices without duplicates.
+func unionSorted(a, b []int) []int {
+	if len(a) == 0 {
+		return append([]int(nil), b...)
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// intersectSorted intersects two ascending int slices.
+func intersectSorted(a, b []int) []int {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

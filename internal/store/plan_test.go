@@ -1,0 +1,348 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"indice/internal/query"
+	"indice/internal/table"
+)
+
+// planConfig is the planner test store: sharded, tiny segments (so every
+// shard holds several), one indexed categorical besides the key, and one
+// tracked numeric with NaN holes.
+func planConfig(shards int) Config {
+	return Config{
+		Shards:      shards,
+		SegmentRows: 16,
+		Schema: []table.Field{
+			{Name: "id", Type: table.String},
+			{Name: "zone", Type: table.String},
+			{Name: "class", Type: table.String},
+			{Name: "v", Type: table.Float64},
+			{Name: "w", Type: table.Float64},
+		},
+		KeyAttr:    "id",
+		IndexAttrs: []string{"zone", "class"},
+		StatsAttrs: []string{"v"}, // w untracked: ranges on it never push down
+	}
+}
+
+// planBatch builds n rows with zones Z0..Z4, classes A..C, v in [0, 100)
+// with every 7th cell invalid, w in [-50, 50).
+func planBatch(t testing.TB, rng *rand.Rand, base, n int) *table.Table {
+	t.Helper()
+	tab, err := table.NewWithSchema(planConfig(1).Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v := table.Cell{Float: rng.Float64() * 100, Valid: true}
+		if (base+i)%7 == 0 {
+			v = table.Cell{Float: math.NaN()}
+		}
+		if err := tab.AppendRow([]table.Cell{
+			{Str: fmt.Sprintf("id-%06d", base+i), Valid: true},
+			{Str: fmt.Sprintf("Z%d", rng.Intn(5)), Valid: true},
+			{Str: string(rune('A' + rng.Intn(3))), Valid: true},
+			v,
+			{Float: rng.Float64()*100 - 50, Valid: true},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+// tablesEqual compares two tables cell-by-cell, bitwise for floats (NaN
+// payloads included) and including validity masks.
+func tablesEqual(a, b *table.Table) error {
+	if !a.SchemaEquals(b) {
+		return fmt.Errorf("schemas differ: %v vs %v", a.Schema(), b.Schema())
+	}
+	if a.NumRows() != b.NumRows() {
+		return fmt.Errorf("row counts differ: %d vs %d", a.NumRows(), b.NumRows())
+	}
+	for _, f := range a.Schema() {
+		va, _ := a.ValidMask(f.Name)
+		vb, _ := b.ValidMask(f.Name)
+		for i := range va {
+			if va[i] != vb[i] {
+				return fmt.Errorf("column %q row %d: validity %v vs %v", f.Name, i, va[i], vb[i])
+			}
+		}
+		if f.Type == table.Float64 {
+			fa, _ := a.Floats(f.Name)
+			fb, _ := b.Floats(f.Name)
+			for i := range fa {
+				if math.Float64bits(fa[i]) != math.Float64bits(fb[i]) {
+					return fmt.Errorf("column %q row %d: %v vs %v", f.Name, i, fa[i], fb[i])
+				}
+			}
+		} else {
+			sa, _ := a.Strings(f.Name)
+			sb, _ := b.Strings(f.Name)
+			for i := range sa {
+				if sa[i] != sb[i] {
+					return fmt.Errorf("column %q row %d: %q vs %q", f.Name, i, sa[i], sb[i])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// randPredicate draws a random predicate tree over the plan schema,
+// mixing pushable shapes (zone/class In, v ranges) with residual ones
+// (Not, Or, ranges on the untracked w, unindexed-value sets).
+func randPredicate(rng *rand.Rand, depth int) query.Predicate {
+	if depth > 0 && rng.Intn(3) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return query.Not{P: randPredicate(rng, depth-1)}
+		case 1:
+			n := 2 + rng.Intn(2)
+			and := make(query.And, n)
+			for i := range and {
+				and[i] = randPredicate(rng, depth-1)
+			}
+			return and
+		default:
+			n := 2 + rng.Intn(2)
+			or := make(query.Or, n)
+			for i := range or {
+				or[i] = randPredicate(rng, depth-1)
+			}
+			return or
+		}
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return query.In{Attr: "zone", Values: []string{fmt.Sprintf("Z%d", rng.Intn(6))}}
+	case 1:
+		vals := []string{}
+		for v := 0; v < 5; v++ {
+			if rng.Intn(2) == 0 {
+				vals = append(vals, fmt.Sprintf("Z%d", v))
+			}
+		}
+		vals = append(vals, "Z0")
+		return query.In{Attr: "zone", Values: vals}
+	case 2:
+		return query.In{Attr: "class", Values: []string{string(rune('A' + rng.Intn(4)))}}
+	case 3:
+		lo := rng.Float64()*120 - 10
+		return query.NumRange{Attr: "v", Min: lo, Max: lo + rng.Float64()*60}
+	default:
+		lo := rng.Float64()*100 - 50
+		return query.NumRange{Attr: "w", Min: lo, Max: lo + rng.Float64()*40}
+	}
+}
+
+// TestQueryMatchesFullScanRandomized is the planner's equivalence
+// property: for random data and random predicates, the pushdown path
+// returns a table bitwise-identical to the naive full scan, at any
+// parallelism.
+func TestQueryMatchesFullScanRandomized(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(42 + shards)))
+			st, err := New(planConfig(shards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Several batches so shards hold sealed segments + a tail.
+			for b := 0; b < 4; b++ {
+				if _, err := st.AppendTable(planBatch(t, rng, b*150, 150)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			snap := st.Snapshot()
+			for trial := 0; trial < 60; trial++ {
+				p := randPredicate(rng, 3)
+				want, err := snap.FullScan(p)
+				if err != nil {
+					t.Fatalf("trial %d (%s): full scan: %v", trial, p, err)
+				}
+				for _, workers := range []int{1, 3} {
+					got, _, err := snap.Query(p, workers)
+					if err != nil {
+						t.Fatalf("trial %d (%s): query: %v", trial, p, err)
+					}
+					if err := tablesEqual(got, want); err != nil {
+						t.Fatalf("trial %d (%s, workers=%d): %v", trial, p, workers, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQueryParsedDSLEquivalence runs textual queries through the shared
+// parser and checks planner/naive equivalence end to end.
+func TestQueryParsedDSLEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	st, err := New(planConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendTable(planBatch(t, rng, 0, 400)); err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	for _, q := range []string{
+		"zone = Z1",
+		"zone in {Z1, Z3} and class = B",
+		"v in [20, 60] and zone = Z2",
+		"not (zone = Z0) and v >= 50",
+		"zone = Z0 or class in {A, C}",
+		"w <= 0 and not (v in [0, 50])",
+		"zone = Z9", // matches nothing
+	} {
+		p, err := query.Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		want, err := snap.FullScan(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := snap.Query(p, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tablesEqual(got, want); err != nil {
+			t.Fatalf("query %q: %v", q, err)
+		}
+	}
+}
+
+// TestQueryPlanUsesIndexAndPrunes pins that equality/set predicates on
+// indexed attributes actually take the candidate path and that
+// impossible ranges prune shards via the Welford summaries.
+func TestQueryPlanUsesIndexAndPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	st, err := New(planConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendTable(planBatch(t, rng, 0, 500)); err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+
+	_, ps, err := snap.Query(query.MustParse("zone = Z1 and v in [0, 100]"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.IndexedShards == 0 || ps.ScannedRows != 0 {
+		t.Fatalf("zone equality did not push down: %+v", ps)
+	}
+	if ps.CandidateRows >= snap.NumRows() {
+		t.Fatalf("candidates not narrower than the store: %+v", ps)
+	}
+
+	// Composed queries nest conjunctions (the server ANDs a preset's
+	// selection with the user's own); pushdown must flatten the spine so
+	// the nested indexed conjunct still avoids full scans.
+	nested := query.And{
+		query.In{Attr: "class", Values: []string{"A", "B"}},
+		query.And{query.In{Attr: "zone", Values: []string{"Z1"}}, query.NumRange{Attr: "v", Min: 0, Max: 100}},
+	}
+	nestedWant, err := snap.FullScan(nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nestedGot, ps, err := snap.Query(nested, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.IndexedShards == 0 || ps.ScannedRows != 0 {
+		t.Fatalf("nested AND did not push down: %+v", ps)
+	}
+	if err := tablesEqual(nestedGot, nestedWant); err != nil {
+		t.Fatal(err)
+	}
+
+	// v is tracked: a range wholly outside the observed values prunes
+	// every shard without touching a row.
+	_, ps, err = snap.Query(query.MustParse("v in [1000, 2000]"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.PrunedShards != ps.Shards || ps.ScannedRows != 0 || ps.CandidateRows != 0 {
+		t.Fatalf("impossible range not pruned: %+v", ps)
+	}
+	if ps.MatchedRows != 0 {
+		t.Fatalf("impossible range matched rows: %+v", ps)
+	}
+
+	// w is untracked: the same impossible range must fall back to scans
+	// and still return nothing.
+	res, ps, err := snap.Query(query.MustParse("w in [1000, 2000]"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.ScannedRows == 0 || res.NumRows() != 0 {
+		t.Fatalf("untracked range should scan: %+v", ps)
+	}
+
+	// A value set containing "" cannot use the index (the index skips
+	// empty strings) but must stay correct.
+	p := query.In{Attr: "zone", Values: []string{"", "Z1"}}
+	want, err := snap.FullScan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ps, err := snap.Query(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.IndexedShards != 0 {
+		t.Fatalf("empty-string set must not push down: %+v", ps)
+	}
+	if err := tablesEqual(got, want); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryNilPredicate returns the whole snapshot.
+func TestQueryNilPredicate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	st, err := New(planConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendTable(planBatch(t, rng, 0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	got, ps, err := snap.Query(nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 50 || ps.MatchedRows != 50 {
+		t.Fatalf("rows = %d, plan %+v", got.NumRows(), ps)
+	}
+}
+
+// TestQueryErrorPropagates surfaces bad attribute references.
+func TestQueryErrorPropagates(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	st, err := New(planConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendTable(planBatch(t, rng, 0, 40)); err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	if _, _, err := snap.Query(query.NumRange{Attr: "ghost"}, 2); err == nil {
+		t.Fatal("want error for unknown attribute")
+	}
+	if _, _, err := snap.Query(query.In{Attr: "v", Values: []string{"x"}}, 2); err == nil {
+		t.Fatal("want error for type mismatch")
+	}
+}

@@ -25,8 +25,10 @@ type Snapshot struct {
 	// headers is safe: a later append grows the store's copy, never the
 	// rows this header can see.
 	index []map[string]map[string][]int
-	// stats holds the merged per-attribute summaries.
-	stats map[string]stats.Running
+	// stats holds the merged per-attribute summaries; shardStats the
+	// per-shard view the query planner prunes shards with.
+	stats      map[string]stats.Running
+	shardStats []map[string]stats.Running
 
 	matOnce sync.Once
 	mat     *table.Table
@@ -44,11 +46,12 @@ func (s *Store) Snapshot() *Snapshot {
 	defer s.mu.Unlock()
 
 	snap := &Snapshot{
-		epoch:  s.epoch.Add(1),
-		schema: s.schema,
-		segs:   make([][]*table.Table, len(s.shards)),
-		index:  make([]map[string]map[string][]int, len(s.shards)),
-		stats:  make(map[string]stats.Running, len(s.cfg.StatsAttrs)),
+		epoch:      s.epoch.Add(1),
+		schema:     s.schema,
+		segs:       make([][]*table.Table, len(s.shards)),
+		index:      make([]map[string]map[string][]int, len(s.shards)),
+		stats:      make(map[string]stats.Running, len(s.cfg.StatsAttrs)),
+		shardStats: make([]map[string]stats.Running, len(s.shards)),
 	}
 	for i, sh := range s.shards {
 		sh.mu.Lock()
@@ -72,11 +75,14 @@ func (s *Store) Snapshot() *Snapshot {
 		}
 		snap.index[i] = idx
 
+		perShard := make(map[string]stats.Running, len(sh.stats))
 		for attr, acc := range sh.stats {
+			perShard[attr] = *acc
 			merged := snap.stats[attr]
 			merged.Merge(*acc)
 			snap.stats[attr] = merged
 		}
+		snap.shardStats[i] = perShard
 		sh.mu.Unlock()
 	}
 	return snap
