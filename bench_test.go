@@ -8,6 +8,7 @@ package indice
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"testing"
@@ -20,6 +21,7 @@ import (
 	"indice/internal/experiments"
 	"indice/internal/geo"
 	"indice/internal/geocode"
+	"indice/internal/matrix"
 	"indice/internal/outlier"
 	"indice/internal/query"
 	"indice/internal/store"
@@ -463,6 +465,202 @@ func BenchmarkE9Ingest(b *testing.B) {
 			b.ReportMetric(float64(rows)/b.Elapsed().Seconds(), "records/s")
 		})
 	}
+}
+
+// benchKernelPoints generates n deterministic synthetic points: `centers`
+// Gaussian blobs of the given spread in [0,1]^dim, the shape of INDICE's
+// normalized thermo-physical attribute matrices.
+func benchKernelPoints(n, dim, centers int, spread float64, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	mus := make([][]float64, centers)
+	for c := range mus {
+		mus[c] = make([]float64, dim)
+		for d := range mus[c] {
+			mus[c][d] = rng.Float64()
+		}
+	}
+	pts := make([][]float64, n)
+	for i := range pts {
+		mu := mus[i%centers]
+		p := make([]float64, dim)
+		for d := range p {
+			v := mu[d] + rng.NormFloat64()*spread
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			p[d] = v
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// BenchmarkE11Kernels measures the flat-matrix compute core against the
+// retained pre-refactor reference implementations (see
+// internal/cluster/reference.go) on the same data and host:
+//
+//   - kmeans-elbow: the K=2..8 SSE sweep over 100k×5 points — Hamerly
+//     bounds + expanded-distance screening vs plain Lloyd's over
+//     [][]float64 rows (target ≥2×);
+//   - dbscan-100k: DBSCAN over 100k×3 points — packed-int64 cell keys
+//     with reusable scratch vs the string-keyed grid (target ≥1.5×);
+//   - kdistances-4k: the eps-estimation k-distance plot — per-point
+//     quickselect vs fully sorting every distance slice.
+//
+// Every pair is verified bitwise-identical before timing. Captured
+// numbers live in BENCH_kernels.json; methodology in docs/benchmarks.md.
+func BenchmarkE11Kernels(b *testing.B) {
+	const (
+		kmN, kmDim, kMin, kMax = 100_000, 5, 2, 8
+		dbN, dbDim             = 100_000, 3
+		dbEps                  = 0.02
+		dbMinPts               = 8
+		kdN, kdK               = 4000, 4
+	)
+	kmPts := benchKernelPoints(kmN, kmDim, 8, 0.06, 42)
+	kmMat, err := matrix.FromRows(kmPts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kmCfg := cluster.KMeansConfig{Seed: 1}
+	kmRefSweep := func() []cluster.SSECurvePoint {
+		out := make([]cluster.SSECurvePoint, 0, kMax-kMin+1)
+		for k := kMin; k <= kMax; k++ {
+			c := kmCfg
+			c.K = k
+			c.Seed = kmCfg.Seed + int64(k) // restarts=1: r=0 term vanishes
+			res, err := cluster.KMeansReference(kmPts, c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out = append(out, cluster.SSECurvePoint{K: k, SSE: res.SSE})
+		}
+		return out
+	}
+	kmFlatSweep := func() []cluster.SSECurvePoint {
+		curve, err := cluster.SSECurveMatrix(kmMat, kMin, kMax, 1, kmCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return curve
+	}
+	// Equivalence gate (one K): the optimized path must be bitwise what
+	// the reference computes before its speed means anything.
+	{
+		c := kmCfg
+		c.K = 4
+		c.Seed = kmCfg.Seed + 4
+		want, err := cluster.KMeansReference(kmPts, c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := cluster.KMeansMatrix(kmMat, c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.SSE != want.SSE || got.Iterations != want.Iterations {
+			b.Fatalf("kmeans equivalence: SSE/iters %v/%d vs reference %v/%d",
+				got.SSE, got.Iterations, want.SSE, want.Iterations)
+		}
+		for i := range want.Labels {
+			if got.Labels[i] != want.Labels[i] {
+				b.Fatalf("kmeans equivalence: label[%d] = %d, want %d", i, got.Labels[i], want.Labels[i])
+			}
+		}
+	}
+	b.Run("kmeans-elbow/flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			kmFlatSweep()
+		}
+	})
+	b.Run("kmeans-elbow/reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			kmRefSweep()
+		}
+	})
+
+	dbPts := benchKernelPoints(dbN, dbDim, 40, 0.05, 7)
+	dbMat, err := matrix.FromRows(dbPts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	{
+		want, err := cluster.DBSCANReference(dbPts, dbEps, dbMinPts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := cluster.DBSCANMatrix(dbMat, dbEps, dbMinPts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.Clusters != want.Clusters || got.NoiseCount != want.NoiseCount {
+			b.Fatalf("dbscan equivalence: %d/%d vs reference %d/%d",
+				got.Clusters, got.NoiseCount, want.Clusters, want.NoiseCount)
+		}
+		for i := range want.Labels {
+			if got.Labels[i] != want.Labels[i] {
+				b.Fatalf("dbscan equivalence: label[%d] = %d, want %d", i, got.Labels[i], want.Labels[i])
+			}
+		}
+	}
+	b.Run("dbscan-100k/flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cluster.DBSCANMatrix(dbMat, dbEps, dbMinPts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dbscan-100k/reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cluster.DBSCANReference(dbPts, dbEps, dbMinPts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	kdPts := benchKernelPoints(kdN, 3, 8, 0.08, 9)
+	kdMat, err := matrix.FromRows(kdPts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	{
+		want, err := cluster.KDistancesReference(kdPts, kdK)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := cluster.KDistancesMatrix(kdMat, kdK, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				b.Fatalf("kdistances equivalence: [%d] = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+	b.Run("kdistances-4k/quickselect", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cluster.KDistancesMatrix(kdMat, kdK, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("kdistances-4k/reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cluster.KDistancesReference(kdPts, kdK); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkE10Query compares the snapshot query planner's secondary-index

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"indice/internal/matrix"
 	"indice/internal/parallel"
 )
 
@@ -26,24 +27,47 @@ type DBSCANResult struct {
 // DBSCAN clusters the row-major points with density reachability under the
 // Euclidean metric: a core point has at least minPts neighbours (itself
 // included) within eps; clusters are the transitive closure of core-point
-// neighbourhoods; everything else is noise.
-//
-// The implementation grids the space with cell size eps so neighbourhood
-// queries touch only adjacent cells, giving near-linear behaviour on the
-// EPC workloads instead of the quadratic all-pairs scan.
+// neighbourhoods; everything else is noise. Thin adapter over
+// DBSCANMatrix.
 func DBSCAN(points [][]float64, eps float64, minPts int) (*DBSCANResult, error) {
 	return DBSCANParallel(points, eps, minPts, 1)
 }
 
 // DBSCANParallel is DBSCAN with the region queries fanned out across
-// parallelism workers: every point's eps-neighbourhood is computed up
-// front (each query is independent and deterministic), then the label
-// propagation runs sequentially over the precomputed lists. The labelling
-// is therefore bitwise-identical to the sequential algorithm at any
-// parallelism; the precompute trades O(Σ|neighbourhood|) memory for the
-// speedup and is skipped at parallelism <= 1.
+// parallelism workers. Thin adapter over DBSCANMatrixParallel.
 func DBSCANParallel(points [][]float64, eps float64, minPts, parallelism int) (*DBSCANResult, error) {
-	n := len(points)
+	if len(points) == 0 {
+		return nil, errors.New("cluster: dbscan on empty input")
+	}
+	m, err := matrix.FromRows(points)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	return DBSCANMatrixParallel(m, eps, minPts, parallelism)
+}
+
+// DBSCANMatrix is DBSCAN over a flat matrix of points.
+func DBSCANMatrix(m *matrix.Matrix, eps float64, minPts int) (*DBSCANResult, error) {
+	return DBSCANMatrixParallel(m, eps, minPts, 1)
+}
+
+// DBSCANMatrixParallel is DBSCAN over a flat matrix with the region
+// queries fanned out across parallelism workers: every point's
+// eps-neighbourhood is computed up front (each query is independent and
+// deterministic), then the label propagation runs sequentially over the
+// precomputed lists. The labelling is therefore bitwise-identical to the
+// sequential algorithm at any parallelism; the precompute trades
+// O(Σ|neighbourhood|) memory for the speedup and is skipped at
+// parallelism <= 1.
+//
+// The implementation grids the space with cell size eps so neighbourhood
+// queries touch only adjacent cells, giving near-linear behaviour on the
+// EPC workloads instead of the quadratic all-pairs scan. Cell keys are
+// packed 64-bit hashes of the integer cell coordinates (with exact-coord
+// buckets resolving the rare collisions), and every query reuses the
+// caller's scratch buffers — no string keys, no per-probe allocations.
+func DBSCANMatrixParallel(m *matrix.Matrix, eps float64, minPts, parallelism int) (*DBSCANResult, error) {
+	n := m.Rows()
 	if n == 0 {
 		return nil, errors.New("cluster: dbscan on empty input")
 	}
@@ -53,19 +77,11 @@ func DBSCANParallel(points [][]float64, eps float64, minPts, parallelism int) (*
 	if minPts < 1 {
 		return nil, fmt.Errorf("cluster: minPts must be >= 1, got %d", minPts)
 	}
-	dim := len(points[0])
-	for i, p := range points {
-		if len(p) != dim {
-			return nil, fmt.Errorf("cluster: point %d has dim %d, want %d", i, len(p), dim)
-		}
-		for _, v := range p {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("cluster: point %d holds a non-finite coordinate", i)
-			}
-		}
+	if i := m.Finite(); i >= 0 {
+		return nil, fmt.Errorf("cluster: point %d holds a non-finite coordinate", i)
 	}
 
-	idx := newCellIndex(points, eps)
+	idx := newCellIndex(m, eps)
 	labels := make([]int, n)
 	for i := range labels {
 		labels[i] = Noise - 1 // unvisited marker
@@ -73,19 +89,21 @@ func DBSCANParallel(points [][]float64, eps float64, minPts, parallelism int) (*
 	const unvisited = Noise - 1
 
 	eps2 := eps * eps
-	neighboursOf := func(i int) []int { return idx.neighbours(i, eps2) }
+	var scratch neighbourScratch
+	neighboursOf := func(i int) []int32 { return idx.neighbours(i, eps2, &scratch) }
 	if parallel.Workers(parallelism) > 1 {
-		all := make([][]int, n)
+		all := make([][]int32, n)
 		parallel.For(n, parallelism, func(start, end int) {
+			var sc neighbourScratch
 			for i := start; i < end; i++ {
-				all[i] = idx.neighbours(i, eps2)
+				all[i] = append([]int32(nil), idx.neighbours(i, eps2, &sc)...)
 			}
 		})
-		neighboursOf = func(i int) []int { return all[i] }
+		neighboursOf = func(i int) []int32 { return all[i] }
 	}
 
 	clusterID := 0
-	var queue []int
+	var queue []int32
 	for i := 0; i < n; i++ {
 		if labels[i] != unvisited {
 			continue
@@ -108,7 +126,7 @@ func DBSCANParallel(points [][]float64, eps float64, minPts, parallelism int) (*
 				continue
 			}
 			labels[j] = clusterID
-			jn := neighboursOf(j)
+			jn := neighboursOf(int(j))
 			if len(jn) >= minPts {
 				queue = append(queue, jn...)
 			}
@@ -125,89 +143,143 @@ func DBSCANParallel(points [][]float64, eps float64, minPts, parallelism int) (*
 	return res, nil
 }
 
-// cellIndex grids d-dimensional points with cell size eps.
+// cellIndex grids d-dimensional points with cell size eps. Cells are
+// addressed by a 64-bit hash of their integer coordinates; each hash
+// bucket holds one entry per distinct cell (collisions are resolved by
+// comparing the exact coordinates of a representative point), so a query
+// sees exactly the points of the addressed cell, in insertion (= point
+// index) order — the same candidate stream as the historical string-keyed
+// grid, without any allocation.
 type cellIndex struct {
-	points [][]float64
+	m      *matrix.Matrix
 	eps    float64
-	cells  map[string][]int32
-	keys   []string // per-point cell key
+	dim    int
+	coords []int64 // n×dim packed per-point cell coordinates
+	cells  map[uint64][]cellBucket
 }
 
-func newCellIndex(points [][]float64, eps float64) *cellIndex {
+// cellBucket is the id list of one exact cell within a hash bucket. rep
+// is the first point of the cell; its coords row disambiguates hash
+// collisions.
+type cellBucket struct {
+	rep int32
+	ids []int32
+}
+
+func newCellIndex(m *matrix.Matrix, eps float64) *cellIndex {
+	n, dim := m.Rows(), m.Cols()
 	ci := &cellIndex{
-		points: points,
+		m:      m,
 		eps:    eps,
-		cells:  make(map[string][]int32),
-		keys:   make([]string, len(points)),
+		dim:    dim,
+		coords: make([]int64, n*dim),
+		cells:  make(map[uint64][]cellBucket, n),
 	}
-	for i, p := range points {
-		k := ci.key(p)
-		ci.keys[i] = k
-		ci.cells[k] = append(ci.cells[k], int32(i))
+	for i := 0; i < n; i++ {
+		cs := ci.coords[i*dim : (i+1)*dim]
+		for d, v := range m.Row(i) {
+			cs[d] = int64(math.Floor(v / eps))
+		}
+		h := hashCoords(cs)
+		bks := ci.cells[h]
+		placed := false
+		for b := range bks {
+			if ci.sameCell(bks[b].rep, cs) {
+				bks[b].ids = append(bks[b].ids, int32(i))
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			bks = append(bks, cellBucket{rep: int32(i), ids: []int32{int32(i)}})
+		}
+		ci.cells[h] = bks
 	}
 	return ci
 }
 
-func (ci *cellIndex) key(p []float64) string {
-	buf := make([]byte, 0, len(p)*4)
-	for _, v := range p {
-		c := int64(math.Floor(v / ci.eps))
-		buf = appendInt(buf, c)
-		buf = append(buf, '|')
+// sameCell reports whether point rep's cell coordinates equal cs.
+func (ci *cellIndex) sameCell(rep int32, cs []int64) bool {
+	ref := ci.coords[int(rep)*ci.dim : (int(rep)+1)*ci.dim]
+	for d := range cs {
+		if ref[d] != cs[d] {
+			return false
+		}
 	}
-	return string(buf)
+	return true
 }
 
-func appendInt(b []byte, v int64) []byte {
-	if v < 0 {
-		b = append(b, '-')
-		v = -v
+// hashCoords mixes the packed cell coordinates into a 64-bit key
+// (per-coordinate splitmix64 finalizer folded FNV-style).
+func hashCoords(cs []int64) uint64 {
+	h := uint64(1469598103934665603)
+	for _, c := range cs {
+		x := uint64(c)
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		h = (h ^ x) * 1099511628211
 	}
-	if v >= 10 {
-		b = appendInt(b, v/10)
-	}
-	return append(b, byte('0'+v%10))
+	return h
 }
 
-// neighbours returns all points within sqrt(eps2) of point i, including i.
-func (ci *cellIndex) neighbours(i int, eps2 float64) []int {
-	p := ci.points[i]
-	dim := len(p)
+// neighbourScratch holds the reusable buffers of a neighbours query. The
+// zero value is ready to use; after a few queries the buffers reach
+// steady state and neighbours performs zero allocations per call.
+type neighbourScratch struct {
+	out   []int32
+	off   []int64
+	probe []int64
+}
+
+// neighbours returns all points within sqrt(eps2) of point i, including
+// i, in the same order as the historical string-keyed grid: adjacent
+// cells enumerated by the offset odometer, point-index order within each
+// cell. The returned slice aliases sc.out and is valid until the next
+// call with the same scratch.
+func (ci *cellIndex) neighbours(i int, eps2 float64, sc *neighbourScratch) []int32 {
+	dim := ci.dim
+	if cap(sc.off) < dim {
+		sc.off = make([]int64, dim)
+		sc.probe = make([]int64, dim)
+	}
+	off, probe := sc.off[:dim], sc.probe[:dim]
+	for d := range off {
+		off[d] = -1
+	}
+	x := ci.m.Row(i)
+	base := ci.coords[i*dim : (i+1)*dim]
+	out := sc.out[:0]
 	// Enumerate the 3^dim adjacent cells. For the dimensionalities INDICE
 	// uses (2-6 attributes) this stays small.
-	base := make([]int64, dim)
-	for d, v := range p {
-		base[d] = int64(math.Floor(v / ci.eps))
-	}
-	offsets := make([]int64, dim)
-	for d := range offsets {
-		offsets[d] = -1
-	}
-	var out []int
 	for {
-		buf := make([]byte, 0, dim*4)
 		for d := range base {
-			buf = appendInt(buf, base[d]+offsets[d])
-			buf = append(buf, '|')
+			probe[d] = base[d] + off[d]
 		}
-		for _, id := range ci.cells[string(buf)] {
-			if sqDist(p, ci.points[id]) <= eps2 {
-				out = append(out, int(id))
+		for _, bk := range ci.cells[hashCoords(probe)] {
+			if !ci.sameCell(bk.rep, probe) {
+				continue
+			}
+			for _, id := range bk.ids {
+				if matrix.SqDist(x, ci.m.Row(int(id))) <= eps2 {
+					out = append(out, id)
+				}
 			}
 		}
 		// Advance the offset odometer.
 		d := 0
 		for ; d < dim; d++ {
-			offsets[d]++
-			if offsets[d] <= 1 {
+			off[d]++
+			if off[d] <= 1 {
 				break
 			}
-			offsets[d] = -1
+			off[d] = -1
 		}
 		if d == dim {
 			break
 		}
 	}
+	sc.out = out
 	return out
 }
 
@@ -220,10 +292,27 @@ func KDistances(points [][]float64, k int) ([]float64, error) {
 }
 
 // KDistancesParallel is KDistances with the per-point scans fanned out
-// across parallelism workers. Each point's k-distance is independent, so
-// the plot is identical at any parallelism.
+// across parallelism workers. Thin adapter over KDistancesMatrix.
 func KDistancesParallel(points [][]float64, k, parallelism int) ([]float64, error) {
-	n := len(points)
+	if len(points) == 0 {
+		return nil, errors.New("cluster: k-distances on empty input")
+	}
+	m, err := matrix.FromRows(points)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	return KDistancesMatrix(m, k, parallelism)
+}
+
+// KDistancesMatrix computes the k-distance plot over a flat matrix with
+// the per-point scans fanned out across parallelism workers. Each
+// point's k-distance is independent, so the plot is identical at any
+// parallelism. The k-th neighbour distance is read with a partial
+// quickselect instead of fully sorting every per-point distance slice —
+// the selected value is exactly the sorted slice's k-1 entry, so the
+// plot is bitwise-identical to the sorting implementation.
+func KDistancesMatrix(m *matrix.Matrix, k, parallelism int) ([]float64, error) {
+	n := m.Rows()
 	if n == 0 {
 		return nil, errors.New("cluster: k-distances on empty input")
 	}
@@ -235,18 +324,69 @@ func KDistancesParallel(points [][]float64, k, parallelism int) ([]float64, erro
 		dists := make([]float64, 0, n-1)
 		for i := start; i < end; i++ {
 			dists = dists[:0]
-			for j := range points {
+			x := m.Row(i)
+			for j := 0; j < n; j++ {
 				if i == j {
 					continue
 				}
-				dists = append(dists, sqDist(points[i], points[j]))
+				dists = append(dists, matrix.SqDist(x, m.Row(j)))
 			}
-			sort.Float64s(dists)
-			out[i] = math.Sqrt(dists[k-1])
+			out[i] = math.Sqrt(quickselect(dists, k-1))
 		}
 	})
 	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
 	return out, nil
+}
+
+// quickselect returns the k-th smallest value (0-indexed) of xs,
+// partially reordering it in place. Median-of-three pivoting keeps the
+// recursion shallow on the sorted and reversed inputs the k-distance
+// scans produce; small partitions finish by insertion sort.
+func quickselect(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	for hi-lo > 12 {
+		// Median of three to the middle, then Hoare-style partition
+		// around it.
+		mid := lo + (hi-lo)/2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return xs[k]
+		}
+	}
+	// Insertion sort the remaining window.
+	for i := lo + 1; i <= hi; i++ {
+		for j := i; j > lo && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	return xs[k]
 }
 
 // EstimateDBSCANParams implements the heuristic the paper adopts from
@@ -260,18 +400,32 @@ func EstimateDBSCANParams(points [][]float64, minPtsCandidates []int) (eps float
 }
 
 // EstimateDBSCANParamsParallel is EstimateDBSCANParams with the quadratic
-// k-distance passes parallelized across parallelism workers.
+// k-distance passes parallelized across parallelism workers. Thin
+// adapter over EstimateDBSCANParamsMatrix.
 func EstimateDBSCANParamsParallel(points [][]float64, minPtsCandidates []int, parallelism int) (eps float64, minPts int, err error) {
+	if len(points) == 0 {
+		return 0, 0, errors.New("cluster: no usable minPts candidate")
+	}
+	m, ferr := matrix.FromRows(points)
+	if ferr != nil {
+		return 0, 0, fmt.Errorf("cluster: %w", ferr)
+	}
+	return EstimateDBSCANParamsMatrix(m, minPtsCandidates, parallelism)
+}
+
+// EstimateDBSCANParamsMatrix estimates (eps, minPts) from k-distance
+// plots over a flat sample matrix.
+func EstimateDBSCANParamsMatrix(m *matrix.Matrix, minPtsCandidates []int, parallelism int) (eps float64, minPts int, err error) {
 	if len(minPtsCandidates) == 0 {
 		minPtsCandidates = []int{3, 4, 5, 8, 10}
 	}
 	sort.Ints(minPtsCandidates)
 	var curves [][]float64
 	for _, k := range minPtsCandidates {
-		if k >= len(points) {
+		if k >= m.Rows() {
 			break
 		}
-		c, err := KDistancesParallel(points, k, parallelism)
+		c, err := KDistancesMatrix(m, k, parallelism)
 		if err != nil {
 			return 0, 0, err
 		}

@@ -3,6 +3,19 @@
 // of K (as the paper prescribes, following Tan et al.), the DBSCAN
 // density-based algorithm used for multivariate outlier detection, and the
 // silhouette quality index.
+//
+// Since the flat-matrix PR the compute core operates on
+// matrix.Matrix (dense row-major, one allocation) instead of
+// [][]float64 rows: the *Matrix entry points are the primary API and the
+// historical [][]float64 functions are thin adapters that copy into a
+// flat matrix once. K-means additionally maintains Hamerly-style
+// upper/lower distance bounds so converged points skip the
+// point-centroid distance scan entirely; the bounds are kept
+// conservative (inflated/deflated by a slack far above the worst-case
+// rounding noise) and every undecided point falls back to the exact
+// reference arithmetic, so labels, centroids, SSE and iteration counts
+// are bitwise-identical to the retained pre-refactor reference
+// (KMeansReference) at any parallelism.
 package cluster
 
 import (
@@ -12,6 +25,7 @@ import (
 	"math/rand"
 	"sync/atomic"
 
+	"indice/internal/matrix"
 	"indice/internal/parallel"
 )
 
@@ -49,24 +63,60 @@ type KMeansResult struct {
 }
 
 // KMeans clusters the row-major points into cfg.K groups with Lloyd's
-// algorithm under the Euclidean metric. Empty clusters are re-seeded with
-// the point farthest from its centroid, so every cluster in the result is
-// non-empty whenever K ≤ len(points).
+// algorithm under the Euclidean metric. It is a thin adapter over
+// KMeansMatrix; see there for the algorithm.
 func KMeans(points [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
-	n := len(points)
+	if len(points) == 0 {
+		return nil, errors.New("cluster: kmeans on empty input")
+	}
+	m, err := matrix.FromRows(points)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	return KMeansMatrix(m, cfg)
+}
+
+// boundSlack is the relative margin applied to every stored distance
+// bound: upper bounds are inflated and lower bounds deflated by it on
+// each update. It sits orders of magnitude above the worst-case rounding
+// noise of the underlying float64 arithmetic (≈1e-14 relative for the
+// dimensionalities INDICE uses), so a bound comparison that prunes is
+// always sound and any genuinely ambiguous point falls through to the
+// exact per-centroid scan.
+const boundSlack = 1e-12
+
+func boundUp(x float64) float64 { return x * (1 + boundSlack) }
+
+func boundDown(x float64) float64 {
+	x *= 1 - boundSlack
+	if x < 0 || math.IsNaN(x) {
+		return 0
+	}
+	return x
+}
+
+// KMeansMatrix is K-means over a flat matrix of points (one row per
+// point). Lloyd's iteration is accelerated two ways without changing a
+// single output bit relative to KMeansReference:
+//
+//   - Hamerly-style bounds: each point carries a conservative upper bound
+//     on its distance to its assigned centroid and a lower bound on its
+//     distance to every other centroid. After the centroid update the
+//     bounds shift by the centroid movements; while upper < lower the
+//     point provably keeps its label and the whole distance scan is
+//     skipped.
+//   - expanded-distance screening: when a point does need a scan, the
+//     |x|²+|c|²−2x·c kernel (precomputed norms, contiguous centroid
+//     rows) ranks the centroids, and only candidates within the kernel's
+//     error bound of the minimum are confirmed with the exact reference
+//     loop — which also supplies the exact tie-break ordering.
+func KMeansMatrix(m *matrix.Matrix, cfg KMeansConfig) (*KMeansResult, error) {
+	n, dim := m.Rows(), m.Cols()
 	if n == 0 {
 		return nil, errors.New("cluster: kmeans on empty input")
 	}
-	dim := len(points[0])
-	for i, p := range points {
-		if len(p) != dim {
-			return nil, fmt.Errorf("cluster: point %d has dim %d, want %d", i, len(p), dim)
-		}
-		for _, v := range p {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("cluster: point %d holds a non-finite coordinate", i)
-			}
-		}
+	if i := m.Finite(); i >= 0 {
+		return nil, fmt.Errorf("cluster: point %d holds a non-finite coordinate", i)
 	}
 	if cfg.K < 1 || cfg.K > n {
 		return nil, fmt.Errorf("cluster: K=%d out of range [1, %d]", cfg.K, n)
@@ -76,26 +126,57 @@ func KMeans(points [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	centroids := make([][]float64, cfg.K)
+	cents, err := matrix.New(cfg.K, dim)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
 	if cfg.PlusPlus {
-		seedPlusPlus(rng, points, centroids)
+		seedPlusPlus(rng, m, cents)
 	} else {
 		// The paper's variant: K distinct points picked uniformly.
 		perm := rng.Perm(n)
 		for c := 0; c < cfg.K; c++ {
-			centroids[c] = append([]float64(nil), points[perm[c]]...)
+			cents.CopyRow(c, m.Row(perm[c]))
 		}
 	}
 
 	labels := make([]int, n)
 	sizes := make([]int, cfg.K)
-	sums := make([][]float64, cfg.K)
-	for c := range sums {
-		sums[c] = make([]float64, dim)
+	sums := make([]float64, cfg.K*dim)
+
+	// Bound state: xn/cn are the squared row norms feeding the expanded
+	// kernel; upper/lower are the per-point Hamerly bounds (Euclidean,
+	// not squared). upper=+Inf forces a full scan, so iteration 1
+	// assigns every point exactly as the reference does.
+	xn := m.RowNorms(nil)
+	var cn []float64
+	upper := make([]float64, n)
+	lower := make([]float64, n)
+	for i := range upper {
+		upper[i] = math.Inf(1)
 	}
+	deltas := make([]float64, cfg.K)
+	// sHalf[c] is a safe lower bound on half the distance from centroid c
+	// to its nearest other centroid: a point whose upper bound is below it
+	// is provably nearest to c (triangle inequality), independently of how
+	// far its lower bound has decayed. Recomputed per iteration, O(K²·dim).
+	sHalf := make([]float64, cfg.K)
 
 	var iter int
 	for iter = 1; iter <= cfg.MaxIterations; iter++ {
+		cn = cents.RowNorms(cn)
+		for c := 0; c < cfg.K; c++ {
+			nearest := math.Inf(1)
+			for c2 := 0; c2 < cfg.K; c2++ {
+				if c2 == c {
+					continue
+				}
+				if d := matrix.SqDist(cents.Row(c), cents.Row(c2)); d < nearest {
+					nearest = d
+				}
+			}
+			sHalf[c] = boundDown(0.5 * math.Sqrt(nearest))
+		}
 		// Assignment step: each point's nearest centroid is independent of
 		// every other point, so chunks of the row range fan out across the
 		// workers. Ties resolve to the lowest centroid index either way.
@@ -105,18 +186,27 @@ func KMeans(points [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
 		}
 		parallel.For(n, cfg.Parallelism, func(start, end int) {
 			chunkChanged := false
+			dbuf := make([]float64, cfg.K)
+			exact := make([]bool, cfg.K)
 			for i := start; i < end; i++ {
-				p := points[i]
-				best, bestD := 0, math.Inf(1)
-				for c, cen := range centroids {
-					if d := sqDist(p, cen); d < bestD {
-						best, bestD = c, d
-					}
+				if u, a := upper[i], labels[i]; u < lower[i] || u < sHalf[a] {
+					continue // provably still nearest to labels[i]
 				}
+				x := m.Row(i)
+				// Tighten the upper bound with one exact distance before
+				// paying for the full scan.
+				u := boundUp(math.Sqrt(matrix.SqDist(x, cents.Row(labels[i]))))
+				upper[i] = u
+				if u < lower[i] || u < sHalf[labels[i]] {
+					continue
+				}
+				best, bestD, secondLB := nearestCentroid(x, xn[i], cents, cn, dbuf, exact)
 				if labels[i] != best {
 					chunkChanged = true
 				}
 				labels[i] = best
+				upper[i] = boundUp(math.Sqrt(bestD))
+				lower[i] = secondLB
 			}
 			if chunkChanged {
 				changedFlag.Store(true)
@@ -124,50 +214,85 @@ func KMeans(points [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
 		})
 		changed := changedFlag.Load()
 
-		// Update step.
-		for c := range sums {
+		// Update step: sums fold in point-index order, exactly the
+		// reference arithmetic.
+		for c := range sizes {
 			sizes[c] = 0
-			for d := range sums[c] {
-				sums[c][d] = 0
-			}
 		}
-		for i, p := range points {
+		for j := range sums {
+			sums[j] = 0
+		}
+		for i := 0; i < n; i++ {
 			c := labels[i]
 			sizes[c]++
-			for d, v := range p {
-				sums[c][d] += v
+			acc := sums[c*dim : (c+1)*dim]
+			for d, v := range m.Row(i) {
+				acc[d] += v
 			}
 		}
 		maxMove := 0.0
-		for c := range centroids {
+		// The two largest centroid movements and the mover's index: a
+		// point's lower bound only decays by movements of non-assigned
+		// centroids, so points of the biggest mover decay by the runner-up.
+		maxDelta, maxDelta2 := 0.0, 0.0
+		maxDeltaC := -1
+		reseeded := false
+		for c := 0; c < cfg.K; c++ {
 			if sizes[c] == 0 {
 				// Re-seed an empty cluster with the globally worst-fitted
 				// point.
 				far, farD := 0, -1.0
-				for i, p := range points {
-					if d := sqDist(p, centroids[labels[i]]); d > farD {
+				for i := 0; i < n; i++ {
+					if d := matrix.SqDist(m.Row(i), cents.Row(labels[i])); d > farD {
 						far, farD = i, d
 					}
 				}
-				centroids[c] = append([]float64(nil), points[far]...)
+				cents.CopyRow(c, m.Row(far))
 				labels[far] = c
 				sizes[c] = 1
 				maxMove = math.Inf(1)
+				reseeded = true
 				continue
 			}
 			move := 0.0
-			for d := range centroids[c] {
-				nv := sums[c][d] / float64(sizes[c])
-				diff := nv - centroids[c][d]
+			crow := cents.Row(c)
+			for d := 0; d < dim; d++ {
+				nv := sums[c*dim+d] / float64(sizes[c])
+				diff := nv - crow[d]
 				move += diff * diff
-				centroids[c][d] = nv
+				crow[d] = nv
 			}
 			if move > maxMove {
 				maxMove = move
 			}
+			deltas[c] = math.Sqrt(move)
+			if deltas[c] > maxDelta {
+				maxDelta2 = maxDelta
+				maxDelta, maxDeltaC = deltas[c], c
+			} else if deltas[c] > maxDelta2 {
+				maxDelta2 = deltas[c]
+			}
 		}
 		if !changed || maxMove <= cfg.Tolerance {
 			break
+		}
+		// Shift the bounds across the centroid movements. A re-seed
+		// teleports a centroid, so bounds reset wholesale (rare).
+		if reseeded {
+			for i := range upper {
+				upper[i] = math.Inf(1)
+				lower[i] = 0
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				a := labels[i]
+				upper[i] = boundUp(upper[i] + deltas[a])
+				if a == maxDeltaC {
+					lower[i] = boundDown(lower[i] - maxDelta2)
+				} else {
+					lower[i] = boundDown(lower[i] - maxDelta)
+				}
+			}
 		}
 	}
 
@@ -176,32 +301,100 @@ func KMeans(points [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
 	// counts.
 	res := &KMeansResult{
 		K:          cfg.K,
-		Centroids:  centroids,
+		Centroids:  make([][]float64, cfg.K),
 		Labels:     labels,
 		Iterations: iter,
 		Sizes:      make([]int, cfg.K),
 	}
+	for c := 0; c < cfg.K; c++ {
+		res.Centroids[c] = append([]float64(nil), cents.Row(c)...)
+	}
 	dists := make([]float64, n)
 	parallel.For(n, cfg.Parallelism, func(start, end int) {
 		for i := start; i < end; i++ {
-			dists[i] = sqDist(points[i], centroids[labels[i]])
+			dists[i] = matrix.SqDist(m.Row(i), cents.Row(labels[i]))
 		}
 	})
-	for i := range points {
+	for i := 0; i < n; i++ {
 		res.Sizes[labels[i]]++
 		res.SSE += dists[i]
 	}
 	return res, nil
 }
 
-// seedPlusPlus performs k-means++ seeding into centroids.
-func seedPlusPlus(rng *rand.Rand, points [][]float64, centroids [][]float64) {
-	n := len(points)
-	k := len(centroids)
-	centroids[0] = append([]float64(nil), points[rng.Intn(n)]...)
+// nearestCentroid returns the point's exact nearest centroid (lowest
+// index on ties, exactly as a sequential strict-< scan of exact
+// distances), the exact squared distance to it, and a safe lower bound on
+// the Euclidean distance to the second-closest centroid.
+//
+// The expanded kernel ranks all centroids in one pass over the contiguous
+// centroid matrix; every centroid within the kernel's error bound of the
+// approximate minimum is then confirmed with the exact loop, so the
+// winner and its distance carry reference arithmetic. dbuf and exact are
+// caller-owned scratch of length K.
+func nearestCentroid(x []float64, xn float64, cents *matrix.Matrix, cn, dbuf []float64, exact []bool) (best int, bestD, secondLB float64) {
+	k := cents.Rows()
+	matrix.SqDistsTo(dbuf, x, xn, cents, cn)
+	approxV := math.Inf(1)
+	cnMax := 0.0
+	for j := 0; j < k; j++ {
+		if dbuf[j] < approxV {
+			approxV = dbuf[j]
+		}
+		if cn[j] > cnMax {
+			cnMax = cn[j]
+		}
+	}
+	eMax := matrix.SqDistErrorBound(cents.Cols(), xn, cnMax)
+	thresh := approxV + 2*eMax
+
+	best, bestD = 0, math.Inf(1)
+	for j := 0; j < k; j++ {
+		if dbuf[j] > thresh {
+			exact[j] = false
+			continue
+		}
+		d := matrix.SqDist(x, cents.Row(j))
+		dbuf[j] = d
+		exact[j] = true
+		if d < bestD {
+			best, bestD = j, d
+		}
+	}
+
+	// Lower bound on the squared distance to any non-best centroid:
+	// exact entries are exact, screened-out entries get the error bound
+	// subtracted.
+	slb := math.Inf(1)
+	for j := 0; j < k; j++ {
+		if j == best {
+			continue
+		}
+		v := dbuf[j]
+		if !exact[j] {
+			v -= eMax
+		}
+		if v < slb {
+			slb = v
+		}
+	}
+	if slb < 0 {
+		slb = 0
+	}
+	secondLB = boundDown(math.Sqrt(slb))
+	return best, bestD, secondLB
+}
+
+// seedPlusPlus performs k-means++ seeding into cents, reusing one
+// distance buffer across all K draws. It consumes the rng stream and
+// produces centroids bitwise-identically to the pre-refactor seeding.
+func seedPlusPlus(rng *rand.Rand, m *matrix.Matrix, cents *matrix.Matrix) {
+	n := m.Rows()
+	k := cents.Rows()
+	cents.CopyRow(0, m.Row(rng.Intn(n)))
 	dist := make([]float64, n)
 	for i := range dist {
-		dist[i] = sqDist(points[i], centroids[0])
+		dist[i] = matrix.SqDist(m.Row(i), cents.Row(0))
 	}
 	for c := 1; c < k; c++ {
 		var total float64
@@ -221,9 +414,10 @@ func seedPlusPlus(rng *rand.Rand, points [][]float64, centroids [][]float64) {
 				}
 			}
 		}
-		centroids[c] = append([]float64(nil), points[pick]...)
+		cents.CopyRow(c, m.Row(pick))
+		crow := cents.Row(c)
 		for i := range dist {
-			if d := sqDist(points[i], centroids[c]); d < dist[i] {
+			if d := matrix.SqDist(m.Row(i), crow); d < dist[i] {
 				dist[i] = d
 			}
 		}
@@ -231,17 +425,12 @@ func seedPlusPlus(rng *rand.Rand, points [][]float64, centroids [][]float64) {
 }
 
 func sqDist(a, b []float64) float64 {
-	var s float64
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
-	}
-	return s
+	return matrix.SqDist(a, b)
 }
 
 // Dist returns the Euclidean distance between two points.
 func Dist(a, b []float64) float64 {
-	return math.Sqrt(sqDist(a, b))
+	return math.Sqrt(matrix.SqDist(a, b))
 }
 
 // SSECurvePoint pairs a K value with the SSE of the best run at that K.
@@ -251,13 +440,23 @@ type SSECurvePoint struct {
 }
 
 // SSECurve runs K-means for every K in [kMin, kMax] and returns the SSE
-// trend the elbow method inspects. Each K is run restarts times (≥1) with
-// distinct seeds, keeping the lowest SSE. With cfg.Parallelism > 1 the
-// (K, restart) runs fan out across the workers as independent jobs; each
-// job is seeded exactly as the sequential sweep and the per-K minimum
-// folds in restart order, so the curve is bitwise-identical at any
-// parallelism.
+// trend the elbow method inspects. Thin adapter over SSECurveMatrix.
 func SSECurve(points [][]float64, kMin, kMax, restarts int, cfg KMeansConfig) ([]SSECurvePoint, error) {
+	m, err := matrix.FromRows(points)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	return SSECurveMatrix(m, kMin, kMax, restarts, cfg)
+}
+
+// SSECurveMatrix runs K-means for every K in [kMin, kMax] over the flat
+// point matrix and returns the SSE trend the elbow method inspects. Each
+// K is run restarts times (≥1) with distinct seeds, keeping the lowest
+// SSE. With cfg.Parallelism > 1 the (K, restart) runs fan out across the
+// workers as independent jobs sharing the read-only matrix; each job is
+// seeded exactly as the sequential sweep and the per-K minimum folds in
+// restart order, so the curve is bitwise-identical at any parallelism.
+func SSECurveMatrix(m *matrix.Matrix, kMin, kMax, restarts int, cfg KMeansConfig) ([]SSECurvePoint, error) {
 	if kMin < 1 || kMax < kMin {
 		return nil, fmt.Errorf("cluster: bad K range [%d, %d]", kMin, kMax)
 	}
@@ -272,7 +471,7 @@ func SSECurve(points [][]float64, kMin, kMax, restarts int, cfg KMeansConfig) ([
 		c.K = k
 		c.Seed = cfg.Seed + int64(r)*7919 + int64(k)
 		c.Parallelism = 1 // the sweep parallelizes across jobs, not within
-		res, err := KMeans(points, c)
+		res, err := KMeansMatrix(m, c)
 		if err != nil {
 			return 0, err
 		}

@@ -1,0 +1,364 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// This file retains the pre-flat-matrix implementations of the three hot
+// algorithms, verbatim: Lloyd's K-means over [][]float64 rows, DBSCAN
+// with the string-keyed cell grid, and the fully-sorting k-distance scan.
+// They are the executable specification the optimized paths are pinned
+// against — the randomized equivalence tests assert bitwise-identical
+// labels, centroids and distances at any parallelism, and the E11 kernel
+// benchmark measures the before/after ratio on the same host. They are
+// not wired into any production path.
+
+// KMeansReference is the pre-refactor Lloyd's iteration. Results are
+// bitwise-identical to KMeans at any cfg.Parallelism (the reference
+// itself always runs sequentially).
+func KMeansReference(points [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errors.New("cluster: kmeans on empty input")
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dim %d, want %d", i, len(p), dim)
+		}
+		for _, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("cluster: point %d holds a non-finite coordinate", i)
+			}
+		}
+	}
+	if cfg.K < 1 || cfg.K > n {
+		return nil, fmt.Errorf("cluster: K=%d out of range [1, %d]", cfg.K, n)
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 100
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	centroids := make([][]float64, cfg.K)
+	if cfg.PlusPlus {
+		seedPlusPlusReference(rng, points, centroids)
+	} else {
+		perm := rng.Perm(n)
+		for c := 0; c < cfg.K; c++ {
+			centroids[c] = append([]float64(nil), points[perm[c]]...)
+		}
+	}
+
+	labels := make([]int, n)
+	sizes := make([]int, cfg.K)
+	sums := make([][]float64, cfg.K)
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+
+	var iter int
+	for iter = 1; iter <= cfg.MaxIterations; iter++ {
+		changed := iter == 1
+		for i := 0; i < n; i++ {
+			p := points[i]
+			best, bestD := 0, math.Inf(1)
+			for c, cen := range centroids {
+				if d := refSqDist(p, cen); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if labels[i] != best {
+				changed = true
+			}
+			labels[i] = best
+		}
+
+		for c := range sums {
+			sizes[c] = 0
+			for d := range sums[c] {
+				sums[c][d] = 0
+			}
+		}
+		for i, p := range points {
+			c := labels[i]
+			sizes[c]++
+			for d, v := range p {
+				sums[c][d] += v
+			}
+		}
+		maxMove := 0.0
+		for c := range centroids {
+			if sizes[c] == 0 {
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d := refSqDist(p, centroids[labels[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				centroids[c] = append([]float64(nil), points[far]...)
+				labels[far] = c
+				sizes[c] = 1
+				maxMove = math.Inf(1)
+				continue
+			}
+			move := 0.0
+			for d := range centroids[c] {
+				nv := sums[c][d] / float64(sizes[c])
+				diff := nv - centroids[c][d]
+				move += diff * diff
+				centroids[c][d] = nv
+			}
+			if move > maxMove {
+				maxMove = move
+			}
+		}
+		if !changed || maxMove <= cfg.Tolerance {
+			break
+		}
+	}
+
+	res := &KMeansResult{
+		K:          cfg.K,
+		Centroids:  centroids,
+		Labels:     labels,
+		Iterations: iter,
+		Sizes:      make([]int, cfg.K),
+	}
+	for i := range points {
+		res.Sizes[labels[i]]++
+		res.SSE += refSqDist(points[i], centroids[labels[i]])
+	}
+	return res, nil
+}
+
+// seedPlusPlusReference is the pre-refactor k-means++ seeding; it draws
+// the same rng sequence as the optimized seeding.
+func seedPlusPlusReference(rng *rand.Rand, points [][]float64, centroids [][]float64) {
+	n := len(points)
+	k := len(centroids)
+	centroids[0] = append([]float64(nil), points[rng.Intn(n)]...)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = refSqDist(points[i], centroids[0])
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, d := range dist {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			x := rng.Float64() * total
+			for i, d := range dist {
+				x -= d
+				if x <= 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		centroids[c] = append([]float64(nil), points[pick]...)
+		for i := range dist {
+			if d := refSqDist(points[i], centroids[c]); d < dist[i] {
+				dist[i] = d
+			}
+		}
+	}
+}
+
+func refSqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// DBSCANReference is the pre-refactor DBSCAN: the same density
+// reachability over the same eps-grid, but with string cell keys and a
+// fresh allocation per neighbourhood probe.
+func DBSCANReference(points [][]float64, eps float64, minPts int) (*DBSCANResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errors.New("cluster: dbscan on empty input")
+	}
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("cluster: eps must be positive and finite, got %v", eps)
+	}
+	if minPts < 1 {
+		return nil, fmt.Errorf("cluster: minPts must be >= 1, got %d", minPts)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dim %d, want %d", i, len(p), dim)
+		}
+		for _, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("cluster: point %d holds a non-finite coordinate", i)
+			}
+		}
+	}
+
+	idx := newStringCellIndex(points, eps)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise - 1
+	}
+	const unvisited = Noise - 1
+
+	eps2 := eps * eps
+	clusterID := 0
+	var queue []int
+	for i := 0; i < n; i++ {
+		if labels[i] != unvisited {
+			continue
+		}
+		neigh := idx.neighbours(i, eps2)
+		if len(neigh) < minPts {
+			labels[i] = Noise
+			continue
+		}
+		labels[i] = clusterID
+		queue = append(queue[:0], neigh...)
+		for len(queue) > 0 {
+			j := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if labels[j] == Noise {
+				labels[j] = clusterID
+			}
+			if labels[j] != unvisited {
+				continue
+			}
+			labels[j] = clusterID
+			jn := idx.neighbours(j, eps2)
+			if len(jn) >= minPts {
+				queue = append(queue, jn...)
+			}
+		}
+		clusterID++
+	}
+
+	res := &DBSCANResult{Labels: labels, Clusters: clusterID}
+	for _, l := range res.Labels {
+		if l == Noise {
+			res.NoiseCount++
+		}
+	}
+	return res, nil
+}
+
+// stringCellIndex is the pre-refactor grid: cell keys are the "|"-joined
+// decimal cell coordinates, allocated per probe.
+type stringCellIndex struct {
+	points [][]float64
+	eps    float64
+	cells  map[string][]int32
+}
+
+func newStringCellIndex(points [][]float64, eps float64) *stringCellIndex {
+	ci := &stringCellIndex{
+		points: points,
+		eps:    eps,
+		cells:  make(map[string][]int32),
+	}
+	for i, p := range points {
+		k := ci.key(p)
+		ci.cells[k] = append(ci.cells[k], int32(i))
+	}
+	return ci
+}
+
+func (ci *stringCellIndex) key(p []float64) string {
+	buf := make([]byte, 0, len(p)*4)
+	for _, v := range p {
+		c := int64(math.Floor(v / ci.eps))
+		buf = refAppendInt(buf, c)
+		buf = append(buf, '|')
+	}
+	return string(buf)
+}
+
+func refAppendInt(b []byte, v int64) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	if v >= 10 {
+		b = refAppendInt(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}
+
+func (ci *stringCellIndex) neighbours(i int, eps2 float64) []int {
+	p := ci.points[i]
+	dim := len(p)
+	base := make([]int64, dim)
+	for d, v := range p {
+		base[d] = int64(math.Floor(v / ci.eps))
+	}
+	offsets := make([]int64, dim)
+	for d := range offsets {
+		offsets[d] = -1
+	}
+	var out []int
+	for {
+		buf := make([]byte, 0, dim*4)
+		for d := range base {
+			buf = refAppendInt(buf, base[d]+offsets[d])
+			buf = append(buf, '|')
+		}
+		for _, id := range ci.cells[string(buf)] {
+			if refSqDist(p, ci.points[id]) <= eps2 {
+				out = append(out, int(id))
+			}
+		}
+		d := 0
+		for ; d < dim; d++ {
+			offsets[d]++
+			if offsets[d] <= 1 {
+				break
+			}
+			offsets[d] = -1
+		}
+		if d == dim {
+			break
+		}
+	}
+	return out
+}
+
+// KDistancesReference is the pre-refactor k-distance scan: every
+// per-point distance slice is fully sorted just to read its k-th entry.
+func KDistancesReference(points [][]float64, k int) ([]float64, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errors.New("cluster: k-distances on empty input")
+	}
+	if k < 1 || k >= n {
+		return nil, fmt.Errorf("cluster: k=%d out of range [1, %d)", k, n)
+	}
+	out := make([]float64, n)
+	dists := make([]float64, 0, n-1)
+	for i := 0; i < n; i++ {
+		dists = dists[:0]
+		for j := range points {
+			if i == j {
+				continue
+			}
+			dists = append(dists, refSqDist(points[i], points[j]))
+		}
+		sort.Float64s(dists)
+		out[i] = math.Sqrt(dists[k-1])
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out, nil
+}

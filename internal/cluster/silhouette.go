@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
+	"indice/internal/matrix"
 	"indice/internal/parallel"
 )
 
@@ -17,22 +19,57 @@ func Silhouette(points [][]float64, labels []int) (float64, error) {
 }
 
 // SilhouetteParallel is Silhouette with the per-point O(n) scans fanned
-// out across parallelism workers. Each point's coefficient is computed
-// independently and the mean folds in point-index order, so the score is
-// bitwise-identical at any parallelism.
+// out across parallelism workers. Thin adapter over SilhouetteMatrix.
 func SilhouetteParallel(points [][]float64, labels []int, parallelism int) (float64, error) {
-	n := len(points)
+	if len(points) == 0 || len(labels) != len(points) {
+		return 0, errors.New("cluster: silhouette needs matching points and labels")
+	}
+	m, err := matrix.FromRows(points)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: %w", err)
+	}
+	return SilhouetteMatrix(m, labels, parallelism)
+}
+
+// SilhouetteMatrix computes the mean silhouette coefficient over a flat
+// point matrix. Cluster labels must be Noise (-1) or small non-negative
+// ids — the compact labelling every clusterer in this package produces —
+// so the per-cluster distance sums accumulate into flat slices instead of
+// a map per point. Each point's coefficient is computed independently and
+// the mean folds in point-index order, so the score is bitwise-identical
+// at any parallelism (and to the historical map-based implementation:
+// per-cluster sums fold in the same point order, and the minimum over
+// other clusters does not depend on enumeration order).
+func SilhouetteMatrix(m *matrix.Matrix, labels []int, parallelism int) (float64, error) {
+	n := m.Rows()
 	if n == 0 || len(labels) != n {
 		return 0, errors.New("cluster: silhouette needs matching points and labels")
 	}
-	// Cluster populations.
-	sizes := make(map[int]int)
+	// Cluster populations over the compact label space.
+	maxLabel := Noise
+	for _, l := range labels {
+		if l < Noise {
+			return 0, fmt.Errorf("cluster: silhouette label %d < %d", l, Noise)
+		}
+		if l > maxLabel {
+			maxLabel = l
+		}
+	}
+	if maxLabel > 2*n {
+		return 0, fmt.Errorf("cluster: silhouette label %d too sparse for %d points", maxLabel, n)
+	}
+	nc := maxLabel + 1
+	sizes := make([]int, nc)
+	clusters := 0
 	for _, l := range labels {
 		if l != Noise {
+			if sizes[l] == 0 {
+				clusters++
+			}
 			sizes[l]++
 		}
 	}
-	if len(sizes) < 2 {
+	if clusters < 2 {
 		return 0, errors.New("cluster: silhouette needs at least two clusters")
 	}
 	// vals[i] is point i's silhouette contribution; eligible[i] marks the
@@ -40,29 +77,30 @@ func SilhouetteParallel(points [][]float64, labels []int, parallelism int) (floa
 	vals := make([]float64, n)
 	eligible := make([]bool, n)
 	parallel.For(n, parallelism, func(start, end int) {
-		sums := make(map[int]float64)
+		sums := make([]float64, nc)
 		for i := start; i < end; i++ {
 			li := labels[i]
 			if li == Noise || sizes[li] < 2 {
 				continue
 			}
 			for k := range sums {
-				delete(sums, k)
+				sums[k] = 0
 			}
+			x := m.Row(i)
 			for j := 0; j < n; j++ {
 				if i == j || labels[j] == Noise {
 					continue
 				}
-				sums[labels[j]] += Dist(points[i], points[j])
+				sums[labels[j]] += math.Sqrt(matrix.SqDist(x, m.Row(j)))
 			}
 			a := sums[li] / float64(sizes[li]-1)
 			b := math.Inf(1)
-			for l, s := range sums {
-				if l == li {
+			for l := 0; l < nc; l++ {
+				if l == li || sizes[l] == 0 {
 					continue
 				}
-				if m := s / float64(sizes[l]); m < b {
-					b = m
+				if mean := sums[l] / float64(sizes[l]); mean < b {
+					b = mean
 				}
 			}
 			if math.IsInf(b, 1) {

@@ -159,14 +159,18 @@ func (e *Engine) Analyze(cfg AnalysisConfig) (*Analysis, error) {
 		}
 		cols[i] = v
 	}
-	mat, rowIdx, err := e.tab.Matrix(cfg.Attributes...)
+	// The complete-row attribute matrix is built once per analysis as a
+	// flat row-major matrix.Matrix and shared read-only by the clustering
+	// and hierarchical stages — no per-stage re-materialization, no
+	// [][]float64 row-pointer chasing in the hot loops.
+	mat, rowIdx, err := e.tab.DenseMatrix(cfg.Attributes...)
 	if err != nil {
 		return nil, fmt.Errorf("core: analyze: %w", err)
 	}
-	if len(mat) < cfg.KMax {
-		return nil, fmt.Errorf("core: analyze: %d complete rows, need at least %d", len(mat), cfg.KMax)
+	if mat.Rows() < cfg.KMax {
+		return nil, fmt.Errorf("core: analyze: %d complete rows, need at least %d", mat.Rows(), cfg.KMax)
 	}
-	norm := normalizeColumns(mat)
+	norm := mat.NormalizeColumns()
 	resp := cols[len(cols)-1]
 	respValid, _ := e.tab.ValidMask(cfg.Response)
 
@@ -194,7 +198,7 @@ func (e *Engine) Analyze(cfg AnalysisConfig) (*Analysis, error) {
 	// per-cluster response means.
 	clusteringStage := func() error {
 		kcfg := cluster.KMeansConfig{Seed: cfg.Seed, Parallelism: cfg.Parallelism}
-		curve, err := cluster.SSECurve(norm, cfg.KMin, cfg.KMax, cfg.Restarts, kcfg)
+		curve, err := cluster.SSECurveMatrix(norm, cfg.KMin, cfg.KMax, cfg.Restarts, kcfg)
 		if err != nil {
 			return fmt.Errorf("core: analyze: %w", err)
 		}
@@ -214,7 +218,7 @@ func (e *Engine) Analyze(cfg AnalysisConfig) (*Analysis, error) {
 			if r > 0 {
 				c.Seed = cfg.Seed + int64(r)*7919 + int64(k)
 			}
-			return cluster.KMeans(norm, c)
+			return cluster.KMeansMatrix(norm, c)
 		})
 		if err != nil {
 			return fmt.Errorf("core: analyze: %w", err)
@@ -313,14 +317,19 @@ func (e *Engine) Analyze(cfg AnalysisConfig) (*Analysis, error) {
 		if cfg.HierarchicalSample <= 0 {
 			return nil
 		}
-		sample := norm
-		if len(sample) > cfg.HierarchicalSample {
-			stride := len(sample) / cfg.HierarchicalSample
-			s := make([][]float64, 0, cfg.HierarchicalSample)
-			for i := 0; i < len(sample) && len(s) < cfg.HierarchicalSample; i += stride {
-				s = append(s, sample[i])
+		// Deterministic stride sample over the shared normalized matrix;
+		// the sampled rows are zero-copy views into its backing slice.
+		view := norm
+		if norm.Rows() > cfg.HierarchicalSample {
+			v, err := norm.StrideView(norm.Rows()/cfg.HierarchicalSample, cfg.HierarchicalSample)
+			if err != nil {
+				return fmt.Errorf("core: analyze: %w", err)
 			}
-			sample = s
+			view = v
+		}
+		sample := make([][]float64, view.Rows())
+		for i := range sample {
+			sample[i] = view.Row(i)
 		}
 		dg, err := cluster.Hierarchical(sample, cluster.AverageLinkage)
 		if err != nil {
@@ -384,39 +393,6 @@ func (e *Engine) transactions(cfg AnalysisConfig, an *Analysis) ([]assoc.Transac
 		}
 	}
 	return txs, nil
-}
-
-func normalizeColumns(mat [][]float64) [][]float64 {
-	if len(mat) == 0 {
-		return nil
-	}
-	dim := len(mat[0])
-	mins := make([]float64, dim)
-	maxs := make([]float64, dim)
-	for d := range mins {
-		mins[d], maxs[d] = math.Inf(1), math.Inf(-1)
-	}
-	for _, r := range mat {
-		for d, v := range r {
-			if v < mins[d] {
-				mins[d] = v
-			}
-			if v > maxs[d] {
-				maxs[d] = v
-			}
-		}
-	}
-	out := make([][]float64, len(mat))
-	for i, r := range mat {
-		nr := make([]float64, dim)
-		for d, v := range r {
-			if span := maxs[d] - mins[d]; span > 0 {
-				nr[d] = (v - mins[d]) / span
-			}
-		}
-		out[i] = nr
-	}
-	return out
 }
 
 // ErrNoAnalysis is returned by Dashboard when the analysis is nil but the

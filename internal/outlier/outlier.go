@@ -245,16 +245,19 @@ func DetectMultivariate(t *table.Table, attrs []string, cfg MultivariateConfig) 
 	if len(attrs) == 0 {
 		return nil, errors.New("outlier: no attributes given")
 	}
-	mat, rowIdx, err := t.Matrix(attrs...)
+	// The complete-row attribute matrix is built once, flat, and shared
+	// read-only by the parameter-estimation sample (a zero-copy strided
+	// view) and the clustering pass.
+	mat, rowIdx, err := t.DenseMatrix(attrs...)
 	if err != nil {
 		return nil, fmt.Errorf("outlier: multivariate: %w", err)
 	}
-	if len(mat) == 0 {
+	if mat.Rows() == 0 {
 		return &MultivariateResult{Attrs: attrs}, nil
 	}
 	// Min-max normalize each attribute so eps is comparable across
 	// heterogeneous units.
-	norm := normalizeMatrix(mat)
+	norm := mat.NormalizeColumns()
 
 	eps, minPts := cfg.Eps, cfg.MinPts
 	if eps <= 0 || minPts <= 0 {
@@ -263,16 +266,14 @@ func DetectMultivariate(t *table.Table, attrs []string, cfg MultivariateConfig) 
 		if limit <= 0 {
 			limit = 500
 		}
-		if len(sample) > limit {
-			// Deterministic stride sample.
-			stride := len(sample) / limit
-			s := make([][]float64, 0, limit)
-			for i := 0; i < len(sample) && len(s) < limit; i += stride {
-				s = append(s, sample[i])
+		if norm.Rows() > limit {
+			// Deterministic stride sample, viewed without copying.
+			sample, err = norm.StrideView(norm.Rows()/limit, limit)
+			if err != nil {
+				return nil, fmt.Errorf("outlier: parameter estimation: %w", err)
 			}
-			sample = s
 		}
-		e, m, err := cluster.EstimateDBSCANParamsParallel(sample, cfg.MinPtsCandidates, cfg.Parallelism)
+		e, m, err := cluster.EstimateDBSCANParamsMatrix(sample, cfg.MinPtsCandidates, cfg.Parallelism)
 		if err != nil {
 			return nil, fmt.Errorf("outlier: parameter estimation: %w", err)
 		}
@@ -284,7 +285,7 @@ func DetectMultivariate(t *table.Table, attrs []string, cfg MultivariateConfig) 
 		}
 	}
 
-	res, err := cluster.DBSCANParallel(norm, eps, minPts, cfg.Parallelism)
+	res, err := cluster.DBSCANMatrixParallel(norm, eps, minPts, cfg.Parallelism)
 	if err != nil {
 		return nil, fmt.Errorf("outlier: dbscan: %w", err)
 	}
@@ -293,7 +294,7 @@ func DetectMultivariate(t *table.Table, attrs []string, cfg MultivariateConfig) 
 		Eps:      eps,
 		MinPts:   minPts,
 		Clusters: res.Clusters,
-		Checked:  len(mat),
+		Checked:  mat.Rows(),
 	}
 	for i, l := range res.Labels {
 		if l == cluster.Noise {
@@ -301,38 +302,4 @@ func DetectMultivariate(t *table.Table, attrs []string, cfg MultivariateConfig) 
 		}
 	}
 	return out, nil
-}
-
-func normalizeMatrix(mat [][]float64) [][]float64 {
-	if len(mat) == 0 {
-		return nil
-	}
-	dim := len(mat[0])
-	mins := make([]float64, dim)
-	maxs := make([]float64, dim)
-	for d := 0; d < dim; d++ {
-		mins[d], maxs[d] = math.Inf(1), math.Inf(-1)
-	}
-	for _, row := range mat {
-		for d, v := range row {
-			if v < mins[d] {
-				mins[d] = v
-			}
-			if v > maxs[d] {
-				maxs[d] = v
-			}
-		}
-	}
-	out := make([][]float64, len(mat))
-	for i, row := range mat {
-		nr := make([]float64, dim)
-		for d, v := range row {
-			span := maxs[d] - mins[d]
-			if span > 0 {
-				nr[d] = (v - mins[d]) / span
-			}
-		}
-		out[i] = nr
-	}
-	return out
 }

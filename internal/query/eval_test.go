@@ -1,0 +1,199 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"indice/internal/table"
+)
+
+// evalTestTable builds a table with numeric and categorical columns,
+// including invalid cells, so UNKNOWN rows exercise the Kleene paths.
+func evalTestTable(rng *rand.Rand, rows int) *table.Table {
+	t := table.New()
+	eph := make([]float64, rows)
+	for i := range eph {
+		if rng.Intn(6) == 0 {
+			eph[i] = math.NaN() // invalid
+		} else {
+			eph[i] = rng.Float64() * 300
+		}
+	}
+	cls := make([]string, rows)
+	clsValid := make([]bool, rows)
+	for i := range cls {
+		cls[i] = fmt.Sprintf("C%d", rng.Intn(4))
+		clsValid[i] = rng.Intn(8) != 0
+	}
+	if err := t.AddFloats("eph", eph); err != nil {
+		panic(err)
+	}
+	if err := t.AddStringsValid("class", cls, clsValid); err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// randEvalPredicate draws a random predicate tree over the test schema.
+func randEvalPredicate(rng *rand.Rand, depth int) Predicate {
+	if depth > 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return Not{P: randEvalPredicate(rng, depth-1)}
+		case 1:
+			and := make(And, 1+rng.Intn(3))
+			for i := range and {
+				and[i] = randEvalPredicate(rng, depth-1)
+			}
+			return and
+		case 2:
+			or := make(Or, 1+rng.Intn(3))
+			for i := range or {
+				or[i] = randEvalPredicate(rng, depth-1)
+			}
+			return or
+		}
+	}
+	if rng.Intn(2) == 0 {
+		lo := rng.Float64() * 300
+		return NumRange{Attr: "eph", Min: lo, Max: lo + rng.Float64()*150}
+	}
+	vals := make([]string, 1+rng.Intn(3))
+	for i := range vals {
+		vals[i] = fmt.Sprintf("C%d", rng.Intn(5))
+	}
+	return In{Attr: "class", Values: vals}
+}
+
+// TestEvaluatorMatchesPredicateMask pins the compiled evaluator bitwise
+// against the naive Predicate.Mask over random trees and tables, reusing
+// one evaluator across tables of different sizes (the segment-scan
+// pattern the store planner runs).
+func TestEvaluatorMatchesPredicateMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 80; trial++ {
+		p := randEvalPredicate(rng, 3)
+		ev, err := NewEvaluator(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seg := 0; seg < 4; seg++ {
+			tab := evalTestTable(rng, 1+rng.Intn(200))
+			want, err := p.Mask(tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ev.Mask(tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d seg %d: mask len %d, want %d", trial, seg, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d seg %d (%s): row %d = %v, want %v",
+						trial, seg, p.String(), i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEvaluatorErrors(t *testing.T) {
+	if _, err := NewEvaluator(nil); err == nil {
+		t.Fatal("want error for nil predicate")
+	}
+	tab := evalTestTable(rand.New(rand.NewSource(1)), 10)
+	for _, p := range []Predicate{
+		NumRange{Attr: "missing", Min: 0, Max: 1},
+		In{Attr: "missing", Values: []string{"x"}},
+		And{},
+		Or{},
+		Not{P: And{}},
+	} {
+		ev, err := NewEvaluator(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ev.Mask(tab); err == nil {
+			t.Fatalf("want error for %T", p)
+		}
+	}
+}
+
+// opaquePredicate is a Predicate implemented outside the DSL types; the
+// evaluator must fall back to its two-valued Mask exactly like evalTri.
+type opaquePredicate struct{ keepEven bool }
+
+func (o opaquePredicate) Mask(t *table.Table) ([]bool, error) {
+	m := make([]bool, t.NumRows())
+	for i := range m {
+		m[i] = (i%2 == 0) == o.keepEven
+	}
+	return m, nil
+}
+
+func (o opaquePredicate) String() string { return "opaque()" }
+
+func TestEvaluatorOpaqueFallback(t *testing.T) {
+	tab := evalTestTable(rand.New(rand.NewSource(2)), 21)
+	p := And{opaquePredicate{keepEven: true}, NumRange{Attr: "eph", Min: 0, Max: 300}}
+	want, err := p.Mask(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEvaluator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ev.Mask(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// BenchmarkEvaluatorSegments measures the compiled evaluator against the
+// naive per-segment Mask on the planner's fallback-scan access pattern:
+// one predicate, many segments.
+func BenchmarkEvaluatorSegments(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	segs := make([]*table.Table, 16)
+	for i := range segs {
+		segs[i] = evalTestTable(rng, 4096)
+	}
+	p := And{
+		In{Attr: "class", Values: []string{"C1", "C2"}},
+		NumRange{Attr: "eph", Min: 40, Max: 220},
+		Not{P: NumRange{Attr: "eph", Min: 100, Max: 120}},
+	}
+	b.Run("compiled", func(b *testing.B) {
+		ev, err := NewEvaluator(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ev.Mask(segs[i%len(segs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Mask(segs[i%len(segs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -231,6 +231,16 @@ func (sn *Snapshot) queryShard(i int, p query.Predicate, pushIn []query.In, push
 		}
 	}
 
+	// One compiled evaluator serves every segment scan and candidate
+	// re-check of this shard: In value sets build once and the per-node
+	// truth buffers recycle across segments, so the masked scan touches
+	// the column slices with no per-segment predicate allocations. The
+	// mask itself is bitwise-identical to p.Mask.
+	ev, err := query.NewEvaluator(p)
+	if err != nil {
+		return shardResult{err: err}
+	}
+
 	if !useIndex {
 		// Fallback: masked scan over every segment.
 		out, err := table.NewWithSchema(sn.schema)
@@ -238,7 +248,7 @@ func (sn *Snapshot) queryShard(i int, p query.Predicate, pushIn []query.In, push
 			return shardResult{err: err}
 		}
 		for _, seg := range segs {
-			mask, err := p.Mask(seg)
+			mask, err := ev.Mask(seg)
 			if err != nil {
 				return shardResult{err: err}
 			}
@@ -280,7 +290,7 @@ func (sn *Snapshot) queryShard(i int, p query.Predicate, pushIn []query.In, push
 			if err != nil {
 				return shardResult{err: err}
 			}
-			mask, err := p.Mask(sub)
+			mask, err := ev.Mask(sub)
 			if err != nil {
 				return shardResult{err: err}
 			}
