@@ -663,6 +663,178 @@ func BenchmarkE11Kernels(b *testing.B) {
 	})
 }
 
+// e12Attrs are the five clustering attributes of the E12 refresh world.
+var e12Attrs = []string{"ua", "ub", "uc", "ud", "ue"}
+
+// e12Schema is the reduced EPC schema of the refresh benchmark: identity,
+// zone, coordinates, the five thermo-physical attributes and the response.
+func e12Schema() []table.Field {
+	fields := []table.Field{
+		{Name: epc.AttrCertificateID, Type: table.String},
+		{Name: epc.AttrDistrict, Type: table.String},
+		{Name: epc.AttrLatitude, Type: table.Float64},
+		{Name: epc.AttrLongitude, Type: table.Float64},
+	}
+	for _, a := range e12Attrs {
+		fields = append(fields, table.Field{Name: a, Type: table.Float64})
+	}
+	return append(fields, table.Field{Name: epc.AttrEPH, Type: table.Float64})
+}
+
+// e12Batch bulk-builds rows [lo, hi): four well-separated Gaussian blobs
+// over the five attributes (σ=0.02 around per-blob corner centers), a
+// blob-dependent response, and an unambiguous MAD outlier every 97th row.
+func e12Batch(b *testing.B, lo, hi int, seed int64) *table.Table {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := hi - lo
+	ids := make([]string, n)
+	districts := make([]string, n)
+	lat := make([]float64, n)
+	lon := make([]float64, n)
+	attrs := make([][]float64, len(e12Attrs))
+	for d := range attrs {
+		attrs[d] = make([]float64, n)
+	}
+	eph := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := lo + i
+		blob := row % 4
+		ids[i] = fmt.Sprintf("cert-%07d", row)
+		districts[i] = fmt.Sprintf("D%d", blob)
+		lat[i] = rng.Float64()
+		lon[i] = rng.Float64()
+		for d := range attrs {
+			center := 0.2
+			if (blob>>uint(d%2))&1 == 1 {
+				center = 0.8
+			}
+			if d == 2 && blob < 2 {
+				center = 1 - center
+			}
+			attrs[d][i] = center + rng.NormFloat64()*0.02
+		}
+		if row%97 == 0 {
+			attrs[0][i] = 50 + rng.Float64()
+		}
+		eph[i] = 100 + 50*float64(blob) + rng.NormFloat64()*3
+	}
+	tab := table.New()
+	if err := tab.AddStrings(epc.AttrCertificateID, ids); err != nil {
+		b.Fatal(err)
+	}
+	if err := tab.AddStrings(epc.AttrDistrict, districts); err != nil {
+		b.Fatal(err)
+	}
+	if err := tab.AddFloats(epc.AttrLatitude, lat); err != nil {
+		b.Fatal(err)
+	}
+	if err := tab.AddFloats(epc.AttrLongitude, lon); err != nil {
+		b.Fatal(err)
+	}
+	for d, a := range e12Attrs {
+		if err := tab.AddFloats(a, attrs[d]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tab.AddFloats(epc.AttrEPH, eph); err != nil {
+		b.Fatal(err)
+	}
+	return tab
+}
+
+// e12Live builds a fresh store + live pair for one E12 variant.
+func e12Live(b *testing.B, incremental bool) (*store.Store, *core.Live) {
+	b.Helper()
+	st, err := store.New(store.Config{
+		Shards:     4,
+		Schema:     e12Schema(),
+		KeyAttr:    epc.AttrCertificateID,
+		IndexAttrs: []string{epc.AttrDistrict},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hier, err := geo.GridHierarchy("e12", geo.Bounds{MinLat: 0, MaxLat: 1, MinLon: 0, MaxLon: 1}, 2, 2, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	acfg := core.DefaultAnalysisConfig()
+	acfg.Attributes = append([]string(nil), e12Attrs...)
+	acfg.KMin, acfg.KMax = 2, 8
+	acfg.Restarts = 2
+	acfg.HierarchicalSample = 0
+	pcfg := core.DefaultPreprocessConfig()
+	pcfg.OutlierAttrs = append([]string(nil), e12Attrs...)
+	live, err := core.NewLive(st, hier, core.LiveConfig{
+		Preprocess: pcfg,
+		Analysis:   acfg,
+		MinRows:    50,
+		// The incremental variant measures the pure fast-path latency:
+		// FullEvery is pushed out of reach (the production default
+		// re-sweeps every 8th refresh), the drift threshold stays at its
+		// default.
+		Incremental: core.IncrementalConfig{Disable: !incremental, FullEvery: 1 << 30},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st, live
+}
+
+// BenchmarkE12Refresh measures full-versus-incremental refresh latency on
+// a 100k-row live store at 1%, 10% and 50% ingest deltas: each iteration
+// ingests one delta batch (untimed) and times exactly one Refresh. The
+// full variants re-run the whole Preprocess→Analyze pipeline (elbow sweep
+// included); the incremental variants materialize only the delta
+// (zero-copy base reuse via Snapshot.DeltaSince + the appendable matrix)
+// and warm-start one K-means run at the previous K. Equivalence of the
+// two paths is pinned by the randomized suite in
+// internal/core/incremental_test.go. Captured numbers live in
+// BENCH_refresh.json; methodology in docs/benchmarks.md.
+func BenchmarkE12Refresh(b *testing.B) {
+	const baseRows = 100_000
+	for _, mode := range []string{"full", "incremental"} {
+		incremental := mode == "incremental"
+		for _, pct := range []int{1, 10, 50} {
+			b.Run(fmt.Sprintf("%s/delta=%d%%", mode, pct), func(b *testing.B) {
+				st, live := e12Live(b, incremental)
+				if _, err := st.AppendTable(e12Batch(b, 0, baseRows, 42)); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := live.Refresh(); err != nil { // baseline publish, untimed
+					b.Fatal(err)
+				}
+				deltaRows := baseRows * pct / 100
+				next := baseRows
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					batch := e12Batch(b, next, next+deltaRows, int64(1000+i))
+					if _, err := st.AppendTable(batch); err != nil {
+						b.Fatal(err)
+					}
+					next += deltaRows
+					b.StartTimer()
+					pub, err := live.Refresh()
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					if pub.Incremental != incremental {
+						b.Fatalf("refresh incremental = %v, variant wants %v", pub.Incremental, incremental)
+					}
+					if pub.Rows != next {
+						b.Fatalf("published %d rows, want %d", pub.Rows, next)
+					}
+					b.StartTimer()
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkE10Query compares the snapshot query planner's secondary-index
 // pushdown against the naive full scan on a 100k-row sharded store: a
 // zone equality conjoined with a numeric range (the paper's

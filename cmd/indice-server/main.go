@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,6 +54,7 @@ func main() {
 		refreshInterval = flag.Duration("refresh-interval", 0, "live mode: re-run the pipeline this often (0 = only on POST /api/refresh)")
 		shards          = flag.Int("shards", 4, "live mode: store shard count")
 		validate        = flag.Bool("validate", false, "live mode: reject ingested rows violating the EPC attribute specs")
+		pprofAddr       = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling (default)")
 	)
 	flag.Parse()
 	workers := *par
@@ -121,6 +123,23 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Profiling is opt-in and bound to its own listener, so the public
+	// dashboard address never exposes /debug/pprof.
+	if *pprofAddr != "" {
+		go func() {
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			fmt.Fprintf(os.Stderr, "pprof listening on %s\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	var handler http.Handler
 	if *ingest {

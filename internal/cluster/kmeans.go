@@ -43,6 +43,15 @@ type KMeansConfig struct {
 	// Tolerance stops iteration when no centroid moves more than this
 	// (squared Euclidean); 0 means exact convergence.
 	Tolerance float64
+	// WarmStart, when non-empty, supplies the K initial centroids as one
+	// flat row-major []float64 of length K×dim, skipping random seeding
+	// entirely (Seed and PlusPlus are then ignored). Incremental refreshes
+	// use it to resume Lloyd's iteration from the previous epoch's
+	// converged centroids: on slowly drifting data the run converges in a
+	// handful of iterations instead of re-descending from scratch, and a
+	// warm start at an exact fixed point reproduces it bitwise in one
+	// iteration.
+	WarmStart []float64
 	// Parallelism bounds the worker goroutines of the assignment step
 	// (and, in SSECurve, of the sweep jobs). 0 or 1 run sequentially;
 	// parallel.Auto uses every CPU. Results are bitwise-identical at any
@@ -124,17 +133,27 @@ func KMeansMatrix(m *matrix.Matrix, cfg KMeansConfig) (*KMeansResult, error) {
 	if cfg.MaxIterations <= 0 {
 		cfg.MaxIterations = 100
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
 	cents, err := matrix.New(cfg.K, dim)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
-	if cfg.PlusPlus {
-		seedPlusPlus(rng, m, cents)
-	} else {
+	switch {
+	case len(cfg.WarmStart) > 0:
+		if len(cfg.WarmStart) != cfg.K*dim {
+			return nil, fmt.Errorf("cluster: warm start carries %d values, want K×dim = %d×%d",
+				len(cfg.WarmStart), cfg.K, dim)
+		}
+		for i, v := range cfg.WarmStart {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("cluster: warm-start value %d is not finite", i)
+			}
+		}
+		copy(cents.Data(), cfg.WarmStart)
+	case cfg.PlusPlus:
+		seedPlusPlus(rand.New(rand.NewSource(cfg.Seed)), m, cents)
+	default:
 		// The paper's variant: K distinct points picked uniformly.
-		perm := rng.Perm(n)
+		perm := rand.New(rand.NewSource(cfg.Seed)).Perm(n)
 		for c := 0; c < cfg.K; c++ {
 			cents.CopyRow(c, m.Row(perm[c]))
 		}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"indice/internal/matrix"
+)
+
+// warmBlobs builds n points around k well-separated centers in [0,1]^dim.
+func warmBlobs(t *testing.T, n, dim, k int, spread float64, seed int64) *matrix.Matrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	mus := make([][]float64, k)
+	for c := range mus {
+		mus[c] = make([]float64, dim)
+		for d := range mus[c] {
+			mus[c][d] = (float64(c) + 0.5) / float64(k)
+		}
+	}
+	m, err := matrix.New(n, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		mu := mus[i%k]
+		row := m.Row(i)
+		for d := range row {
+			row[d] = mu[d] + rng.NormFloat64()*spread
+		}
+	}
+	return m
+}
+
+// flatCentroids flattens a KMeansResult's centroids into the WarmStart
+// layout.
+func flatCentroids(res *KMeansResult) []float64 {
+	out := make([]float64, 0, len(res.Centroids)*len(res.Centroids[0]))
+	for _, c := range res.Centroids {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// TestWarmStartFixedPointBitwise pins the contract the incremental
+// refresh relies on: warm-starting from a converged run's centroids on
+// the same matrix reproduces labels, centroids and SSE bitwise, in a
+// single iteration.
+func TestWarmStartFixedPointBitwise(t *testing.T) {
+	m := warmBlobs(t, 3000, 4, 5, 0.03, 11)
+	cold, err := KMeansMatrix(m, KMeansConfig{K: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Iterations >= 100 {
+		t.Fatalf("cold run did not converge (%d iterations)", cold.Iterations)
+	}
+	warm, err := KMeansMatrix(m, KMeansConfig{K: 5, WarmStart: flatCentroids(cold)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Iterations != 1 {
+		t.Fatalf("warm start at a fixed point took %d iterations, want 1", warm.Iterations)
+	}
+	if warm.SSE != cold.SSE {
+		t.Fatalf("warm SSE %v != cold SSE %v (must be bitwise)", warm.SSE, cold.SSE)
+	}
+	for i := range cold.Labels {
+		if warm.Labels[i] != cold.Labels[i] {
+			t.Fatalf("label[%d] = %d, want %d", i, warm.Labels[i], cold.Labels[i])
+		}
+	}
+	for c := range cold.Centroids {
+		for d := range cold.Centroids[c] {
+			if warm.Centroids[c][d] != cold.Centroids[c][d] {
+				t.Fatalf("centroid[%d][%d] = %v, want %v (must be bitwise)",
+					c, d, warm.Centroids[c][d], cold.Centroids[c][d])
+			}
+		}
+	}
+}
+
+// TestWarmStartConvergesFasterOnDriftedData checks the perf contract: on
+// data extended by a small same-distribution delta, resuming from the
+// previous centroids converges in (usually far) fewer iterations than
+// reseeding, and lands on an equally good fixed point.
+func TestWarmStartConvergesFasterOnDriftedData(t *testing.T) {
+	base := warmBlobs(t, 5000, 4, 5, 0.03, 21)
+	prev, err := KMeansMatrix(base, KMeansConfig{K: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extend with a 2% delta drawn from the same blobs.
+	grown := warmBlobs(t, 5100, 4, 5, 0.03, 21) // superset shape, fresh draw
+	coldNew, err := KMeansMatrix(grown, KMeansConfig{K: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmNew, err := KMeansMatrix(grown, KMeansConfig{K: 5, WarmStart: flatCentroids(prev)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmNew.Iterations > coldNew.Iterations {
+		t.Fatalf("warm start took %d iterations, cold %d", warmNew.Iterations, coldNew.Iterations)
+	}
+	// Both should find the blob structure; SSE within 1% of each other.
+	if rel := math.Abs(warmNew.SSE-coldNew.SSE) / coldNew.SSE; rel > 0.01 {
+		t.Fatalf("warm SSE %v vs cold SSE %v (rel %v)", warmNew.SSE, coldNew.SSE, rel)
+	}
+}
+
+func TestWarmStartValidation(t *testing.T) {
+	m := warmBlobs(t, 100, 3, 2, 0.05, 1)
+	if _, err := KMeansMatrix(m, KMeansConfig{K: 2, WarmStart: []float64{1, 2, 3}}); err == nil {
+		t.Fatal("want error for wrong warm-start length")
+	}
+	bad := []float64{0, 0, 0, 1, 1, math.NaN()}
+	if _, err := KMeansMatrix(m, KMeansConfig{K: 2, WarmStart: bad}); err == nil {
+		t.Fatal("want error for non-finite warm-start value")
+	}
+	// A valid warm start must ignore Seed entirely: two different seeds
+	// with the same warm start produce identical results.
+	ws := []float64{0.2, 0.2, 0.2, 0.8, 0.8, 0.8}
+	a, err := KMeansMatrix(m, KMeansConfig{K: 2, Seed: 1, WarmStart: ws})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeansMatrix(m, KMeansConfig{K: 2, Seed: 99, WarmStart: ws})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SSE != b.SSE || a.Iterations != b.Iterations {
+		t.Fatalf("warm start not seed-independent: %v/%d vs %v/%d",
+			a.SSE, a.Iterations, b.SSE, b.Iterations)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatalf("label[%d] differs across seeds under warm start", i)
+		}
+	}
+}

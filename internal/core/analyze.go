@@ -98,6 +98,11 @@ type Analysis struct {
 	ChosenK  int
 	// Clustering is the final K-means run at ChosenK.
 	Clustering *cluster.KMeansResult
+	// NormMins and NormMaxs are the per-attribute min-max normalization
+	// bounds of the clustering matrix. Centroids live in this normalized
+	// space; the incremental refresh maps them back to raw attribute
+	// space with these bounds to warm-start the next epoch.
+	NormMins, NormMaxs []float64
 	// RowLabels maps every table row to its cluster (-1 for rows with
 	// missing values that were excluded from clustering).
 	RowLabels []int
@@ -170,7 +175,8 @@ func (e *Engine) Analyze(cfg AnalysisConfig) (*Analysis, error) {
 	if mat.Rows() < cfg.KMax {
 		return nil, fmt.Errorf("core: analyze: %d complete rows, need at least %d", mat.Rows(), cfg.KMax)
 	}
-	norm := mat.NormalizeColumns()
+	norm, mins, maxs := mat.NormalizeColumnsBounds()
+	an.NormMins, an.NormMaxs = mins, maxs
 	resp := cols[len(cols)-1]
 	respValid, _ := e.tab.ValidMask(cfg.Response)
 

@@ -132,6 +132,11 @@ type PreprocessConfig struct {
 	// setting. It is only applied to the Univariate and MultivariateCfg
 	// sub-configurations when those leave their own Parallelism unset.
 	Parallelism int
+
+	// keepPreDrop retains the post-clean, pre-drop table in the report —
+	// the incremental refresh lineage's base state. Internal to the live
+	// loop.
+	keepPreDrop bool
 }
 
 // DefaultPreprocessConfig mirrors the paper's pre-processing: clean
@@ -168,6 +173,10 @@ type PreprocessReport struct {
 	OutlierRows []int
 	// RowsBefore/RowsAfter document the removal.
 	RowsBefore, RowsAfter int
+
+	// preDrop is the post-clean, pre-drop table, retained only with
+	// keepPreDrop (it may alias the engine table when nothing dropped).
+	preDrop *table.Table
 }
 
 // Preprocess runs the pre-processing tier and, when configured, replaces
@@ -258,6 +267,9 @@ func (e *Engine) Preprocess(cfg PreprocessConfig) (*PreprocessReport, error) {
 	}
 	sortInts(rep.OutlierRows)
 
+	if cfg.keepPreDrop {
+		rep.preDrop = e.tab
+	}
 	if cfg.DropOutliers && len(rep.OutlierRows) > 0 {
 		cleaned, err := outlier.RemoveRows(e.tab, rep.OutlierRows)
 		if err != nil {
@@ -272,25 +284,32 @@ func (e *Engine) Preprocess(cfg PreprocessConfig) (*PreprocessReport, error) {
 // reassignZones recomputes district and neighbourhood labels from the
 // (cleaned) coordinates.
 func (e *Engine) reassignZones() error {
-	lat, err := e.tab.Floats(epc.AttrLatitude)
+	return reassignZonesTable(e.tab, e.hier)
+}
+
+// reassignZonesTable recomputes the administrative labels of tab from its
+// coordinates — shared by the full preprocess pass and the incremental
+// path, which relabels only a delta table.
+func reassignZonesTable(tab *table.Table, hier *geo.Hierarchy) error {
+	lat, err := tab.Floats(epc.AttrLatitude)
 	if err != nil {
 		return err
 	}
-	lon, _ := e.tab.Floats(epc.AttrLongitude)
+	lon, _ := tab.Floats(epc.AttrLongitude)
 	pts := make([]geo.Point, len(lat))
 	for i := range lat {
 		pts[i] = geo.Point{Lat: lat[i], Lon: lon[i]}
 	}
-	dist := e.hier.Assign(pts, geo.LevelDistrict)
-	neigh := e.hier.Assign(pts, geo.LevelNeighbourhood)
+	dist := hier.Assign(pts, geo.LevelDistrict)
+	neigh := hier.Assign(pts, geo.LevelNeighbourhood)
 	for i := range pts {
 		if dist[i] != "" {
-			if err := e.tab.SetString(epc.AttrDistrict, i, dist[i]); err != nil {
+			if err := tab.SetString(epc.AttrDistrict, i, dist[i]); err != nil {
 				return err
 			}
 		}
 		if neigh[i] != "" {
-			if err := e.tab.SetString(epc.AttrNeighbourhood, i, neigh[i]); err != nil {
+			if err := tab.SetString(epc.AttrNeighbourhood, i, neigh[i]); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,546 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"indice/internal/cluster"
+	"indice/internal/epc"
+	"indice/internal/geocode"
+	"indice/internal/matrix"
+	"indice/internal/outlier"
+	"indice/internal/stats"
+	"indice/internal/store"
+	"indice/internal/table"
+)
+
+// IncrementalConfig tunes the incremental refresh path: the steady-state
+// fast lane that makes refresh cost proportional to newly ingested data
+// instead of the whole corpus.
+//
+// An incremental refresh materializes only the store delta (the previous
+// epoch's rows are reused zero-copy), re-screens outliers over the full
+// value set (fences therefore match the cold path's exactly), and
+// warm-starts a single K-means run at the previously chosen K from the
+// previous epoch's centroids — skipping the elbow sweep, by far the most
+// expensive stage. Two correctness fallbacks force the full pipeline
+// (sweep included): measured distribution drift beyond DriftThreshold,
+// and an unconditional full run every FullEvery-th refresh.
+type IncrementalConfig struct {
+	// Disable turns the fast path off: every refresh runs the full
+	// pipeline, as before this engine existed.
+	Disable bool
+	// DriftThreshold bounds the tolerated distribution drift since the
+	// last full sweep, measured per tracked attribute as the larger of
+	// |Δmean|/σ and |ln(σ_new/σ_ref)|. Beyond it the full pipeline
+	// re-runs. Default 0.25.
+	DriftThreshold float64
+	// FullEvery forces a full pipeline at least every FullEvery-th
+	// refresh regardless of drift (the elbow sweep re-validates K and the
+	// rule panel recomputes). Default 8.
+	FullEvery int
+}
+
+// errIncremental marks conditions that silently degrade to the cold path
+// rather than failing the refresh.
+var errIncremental = errors.New("core: incremental refresh unavailable")
+
+// lineage is the mutable cross-epoch state of the incremental path, owned
+// by the refresh lock. raw accumulates the post-clean, pre-drop rows of
+// every epoch in arrival order; mat mirrors its complete rows over the
+// clustering attributes in a pooled appendable buffer, so each refresh
+// materializes only the delta.
+type lineage struct {
+	epoch     uint64
+	raw       *table.Table
+	mat       *matrix.Appendable
+	rowIdx    []int // mat row -> raw row
+	attrs     []string
+	response  string
+	refStats  map[string]stats.Running // drift baseline, at last full sweep
+	centroids []float64                // flat K×dim, raw attribute space
+	chosenK   int
+	sinceFull int
+}
+
+// release returns the lineage's pooled resources.
+func (lin *lineage) release() {
+	if lin != nil && lin.mat != nil {
+		matrix.PutAppendable(lin.mat)
+		lin.mat = nil
+	}
+}
+
+// analysisAttrs resolves the clustering attribute subset and response the
+// same way Analyze defaults them.
+func analysisAttrs(cfg AnalysisConfig) ([]string, string) {
+	attrs := cfg.Attributes
+	if len(attrs) == 0 {
+		attrs = epc.CaseStudyAttributes
+	}
+	resp := cfg.Response
+	if resp == "" {
+		resp = epc.AttrEPH
+	}
+	return attrs, resp
+}
+
+// driftSince measures how far the store's distribution moved from the
+// remembered baseline: the worst per-attribute score over mean shift (in
+// baseline standard deviations) and spread change (absolute log ratio of
+// standard deviations). The second return value is false when no tracked
+// attribute overlaps the baseline — drift is then unmeasurable and the
+// caller must fall back to the full pipeline.
+func driftSince(ref map[string]stats.Running, snap *store.Snapshot, attrs []string) (float64, bool) {
+	worst := 0.0
+	found := false
+	for _, a := range attrs {
+		cur, ok := snap.Stats(a)
+		if !ok || cur.Count == 0 {
+			continue
+		}
+		old, ok := ref[a]
+		if !ok || old.Count == 0 {
+			continue
+		}
+		found = true
+		sd := old.StdDev()
+		if sd > 0 {
+			if d := math.Abs(cur.Mean-old.Mean) / sd; d > worst {
+				worst = d
+			}
+			if nsd := cur.StdDev(); nsd > 0 {
+				if d := math.Abs(math.Log(nsd / sd)); d > worst {
+					worst = d
+				}
+			}
+		} else if cur.Mean != old.Mean || cur.StdDev() > 0 {
+			// A constant baseline that stopped being constant is infinite
+			// drift by this metric.
+			worst = math.Inf(1)
+		}
+	}
+	return worst, found
+}
+
+// incrementalEligible reports whether the fast path may even be attempted
+// for this refresh, before paying for a delta or drift computation.
+func (l *Live) incrementalEligible(prev *Published) bool {
+	switch {
+	case l.cfg.Incremental.Disable || l.cfg.SkipAnalysis:
+		return false
+	case l.lineage == nil || prev == nil || prev.Analysis == nil || prev.Analysis.Clustering == nil:
+		return false
+	case l.lineage.epoch != prev.Epoch:
+		// A failed or interrupted refresh left the lineage out of step
+		// with what is being served; rebuild from scratch.
+		return false
+	case l.cfg.Preprocess.Multivariate:
+		// The DBSCAN screen is not decomposable over deltas.
+		return false
+	case l.cfg.Preprocess.Univariate.Method == "":
+		// The suggestion-store method resolution is stateful per engine;
+		// only explicitly configured methods replay identically.
+		return false
+	}
+	return true
+}
+
+// tryIncremental attempts the fast path. It returns (pub, true) on
+// success; (nil, false) sends the caller down the cold path (after
+// invalidating the lineage if it may have been left inconsistent).
+func (l *Live) tryIncremental(start time.Time, snap *store.Snapshot, prev *Published) (*Published, bool) {
+	if !l.incrementalEligible(prev) {
+		return nil, false
+	}
+	lin := l.lineage
+	if lin.sinceFull+1 >= l.cfg.Incremental.FullEvery {
+		return nil, false
+	}
+	delta, ok := snap.DeltaSince(lin.epoch)
+	if !ok {
+		return nil, false
+	}
+	drift, measurable := driftSince(lin.refStats, snap, append(append([]string(nil), lin.attrs...), lin.response))
+	if !measurable || drift > l.cfg.Incremental.DriftThreshold {
+		return nil, false
+	}
+	pub, err := l.refreshIncremental(start, snap, prev, delta, drift)
+	if err != nil {
+		// The lineage may hold a half-applied delta; drop it and let the
+		// cold path rebuild. Expected degradations (errIncremental) stay
+		// silent; anything else is recorded so a persistently dead fast
+		// path is diagnosable (LastIncrementalError, /api/store) even
+		// while the cold path keeps every refresh green.
+		if !errors.Is(err, errIncremental) {
+			msg := err.Error()
+			l.incErr.Store(&msg)
+		}
+		l.lineage.release()
+		l.lineage = nil
+		return nil, false
+	}
+	l.incErr.Store(nil)
+	return pub, true
+}
+
+// refreshIncremental runs one delta-proportional refresh: materialize and
+// preprocess only the delta, re-screen fences over the full value set,
+// and warm-start a single clustering run at the previous K.
+func (l *Live) refreshIncremental(start time.Time, snap *store.Snapshot, prev *Published,
+	delta *store.Delta, drift float64) (*Published, error) {
+	lin := l.lineage
+	var deltaCleaning *geocode.Report
+	if delta.NewRows > 0 {
+		// One owned copy of the new rows (the store shares segments
+		// zero-copy; cleaning mutates, so the delta must be private).
+		deltaTab, err := table.Concat(delta.Tables()...)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errIncremental, err)
+		}
+		cleanRep, err := l.cleanDelta(deltaTab)
+		if err != nil {
+			return nil, err
+		}
+		deltaCleaning = cleanRep
+		if err := lin.raw.AppendTable(deltaTab); err != nil {
+			return nil, fmt.Errorf("%w: %v", errIncremental, err)
+		}
+		newIdx, err := lin.raw.DenseMatrixAppend(lin.mat, lin.raw.NumRows()-deltaTab.NumRows(), lin.attrs...)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errIncremental, err)
+		}
+		lin.rowIdx = append(lin.rowIdx, newIdx...)
+	}
+	// From here on the lineage tables are consistent with snap even if a
+	// later stage fails; still, any error invalidates the lineage (the
+	// caller rebuilds cold), which is always safe.
+
+	// Outlier screen over the full value multiset: the fences match what
+	// the cold path would compute on this snapshot exactly, so the set of
+	// dropped rows is identical — only their order differs.
+	pcfg := l.cfg.Preprocess
+	attrs := pcfg.OutlierAttrs
+	if len(attrs) == 0 {
+		attrs = epc.CaseStudyAttributes
+	}
+	ucfg := pcfg.Univariate
+	if ucfg.Parallelism == 0 {
+		ucfg.Parallelism = pcfg.Parallelism
+	}
+	rep := &PreprocessReport{
+		RowsBefore:       lin.raw.NumRows(),
+		UnivariateMethod: ucfg.Method,
+		// Cleaning covers only this refresh's delta: the base rows were
+		// cleaned by the epochs that ingested them.
+		Cleaning: deltaCleaning,
+	}
+	var union []int
+	if pcfg.ByZoneAttr != "" {
+		zones, u, err := outlier.DetectByZone(lin.raw, pcfg.ByZoneAttr, attrs, ucfg)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errIncremental, err)
+		}
+		rep.Zones = zones
+		union = u
+	} else {
+		results, u, err := outlier.DetectColumns(lin.raw, attrs, ucfg)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errIncremental, err)
+		}
+		rep.Univariate = results
+		union = u
+	}
+	rep.OutlierRows = union
+
+	drop := make([]bool, lin.raw.NumRows())
+	keep := make([]bool, lin.raw.NumRows())
+	for i := range keep {
+		keep[i] = true
+	}
+	if pcfg.DropOutliers {
+		for _, r := range union {
+			drop[r] = true
+			keep[r] = false
+		}
+	}
+	tab, err := lin.raw.FilterMask(keep)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errIncremental, err)
+	}
+	rep.RowsAfter = tab.NumRows()
+	eng, err := NewEngine(tab, l.hier, l.cfg.Options)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errIncremental, err)
+	}
+
+	an, newCentroidsRaw, err := l.analyzeIncremental(eng, prev.Analysis, drop)
+	if err != nil {
+		return nil, err
+	}
+
+	lin.epoch = snap.Epoch()
+	lin.sinceFull++
+	lin.centroids = newCentroidsRaw
+	l.incRefreshes.Add(1)
+	return &Published{
+		Epoch:       snap.Epoch(),
+		Generation:  snap.Generation(),
+		Rows:        snap.NumRows(),
+		Snapshot:    snap,
+		Engine:      eng,
+		Analysis:    an,
+		Report:      rep,
+		RefreshedAt: time.Now(),
+		Took:        time.Since(start),
+		Incremental: true,
+		DeltaRows:   delta.NewRows,
+		ReusedRows:  delta.BaseRows,
+		Drift:       drift,
+	}, nil
+}
+
+// cleanDelta applies the geospatial cleaning step to a delta table in
+// place, mirroring what Preprocess does to the whole table on the cold
+// path (per-row reconciliation, then administrative relabeling).
+func (l *Live) cleanDelta(deltaTab *table.Table) (*geocode.Report, error) {
+	if l.cfg.Preprocess.SkipCleaning || l.cfg.Options.StreetMap == nil {
+		return nil, nil
+	}
+	cl, err := geocode.NewCleaner(l.cfg.Options.StreetMap, l.cfg.Options.Geocoder, l.cfg.Preprocess.Clean)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errIncremental, err)
+	}
+	crep, err := cl.Clean(deltaTab)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errIncremental, err)
+	}
+	if deltaTab.HasColumn(epc.AttrDistrict) && deltaTab.HasColumn(epc.AttrNeighbourhood) {
+		if err := reassignZonesTable(deltaTab, l.hier); err != nil {
+			return nil, fmt.Errorf("%w: %v", errIncremental, err)
+		}
+	}
+	return crep, nil
+}
+
+// analyzeIncremental is the warm analytics tier: correlations, the
+// masked-and-normalized clustering matrix compacted from the lineage
+// buffer into pooled scratch, and one warm-started K-means run at the
+// previously chosen K. The elbow sweep, CART discretization, rule mining
+// and dendrogram are carried forward from the previous analysis — they
+// recompute on the next full sweep (drift or FullEvery). Returns the new
+// raw-space centroids for the next epoch's warm start.
+func (l *Live) analyzeIncremental(e *Engine, prevAn *Analysis, drop []bool) (*Analysis, []float64, error) {
+	lin := l.lineage
+	cfg := l.cfg.Analysis
+	an := &Analysis{
+		Attributes: append([]string(nil), lin.attrs...),
+		Response:   lin.response,
+		// Carried forward from the last full sweep:
+		SSECurve:   prevAn.SSECurve,
+		ChosenK:    lin.chosenK,
+		Binnings:   prevAn.Binnings,
+		Rules:      prevAn.Rules,
+		Dendrogram: prevAn.Dendrogram,
+	}
+
+	// Correlation screen: cheap relative to clustering, recomputed every
+	// refresh so the eligibility check always reflects the served data.
+	names := append(append([]string(nil), lin.attrs...), lin.response)
+	cols := make([][]float64, len(names))
+	for i, n := range names {
+		v, err := e.tab.Floats(n)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", errIncremental, err)
+		}
+		cols[i] = v
+	}
+	corr, err := stats.NewCorrelationMatrix(names, cols)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", errIncremental, err)
+	}
+	an.Correlations = corr
+	threshold := cfg.CorrelationThreshold
+	if threshold <= 0 {
+		threshold = 0.8
+	}
+	sub, err := stats.NewCorrelationMatrix(lin.attrs, cols[:len(lin.attrs)])
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", errIncremental, err)
+	}
+	an.WeaklyCorrelated = sub.WeaklyCorrelated(threshold)
+
+	// Survivor mask over the lineage matrix, plus the matrix-row → engine-
+	// table-row mapping (engine rows are the raw rows minus the dropped).
+	full := lin.mat.Matrix()
+	dim := full.Cols()
+	mask := make([]bool, full.Rows())
+	survivors := 0
+	for i, rawRow := range lin.rowIdx {
+		if !drop[rawRow] {
+			mask[i] = true
+			survivors++
+		}
+	}
+	kmax := cfg.KMax
+	if kmax < 2 {
+		kmax = 10
+	}
+	if survivors < kmax || survivors < lin.chosenK {
+		return nil, nil, fmt.Errorf("%w: %d complete rows survive, need %d", errIncremental, survivors, kmax)
+	}
+	dropsBefore := make([]int, len(drop)+1)
+	for i, d := range drop {
+		dropsBefore[i+1] = dropsBefore[i]
+		if d {
+			dropsBefore[i+1]++
+		}
+	}
+
+	// Compact + min-max normalize the survivors into pooled scratch in one
+	// pass; bounds computed over exactly the clustered rows, as the cold
+	// path's NormalizeColumns does.
+	mins, maxs := full.ColMinMax(nil, nil, mask)
+	norm, err := matrix.GetMatrix(survivors, dim)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", errIncremental, err)
+	}
+	defer matrix.PutMatrix(norm)
+	tabIdx := make([]int, 0, survivors)
+	out := 0
+	for i, ok := range mask {
+		if !ok {
+			continue
+		}
+		src, dst := full.Row(i), norm.Row(out)
+		for d, v := range src {
+			if span := maxs[d] - mins[d]; span > 0 {
+				dst[d] = (v - mins[d]) / span
+			}
+		}
+		rawRow := lin.rowIdx[i]
+		tabIdx = append(tabIdx, rawRow-dropsBefore[rawRow])
+		out++
+	}
+
+	// Warm start: the previous epoch's centroids, mapped from raw
+	// attribute space into this epoch's normalized space.
+	k := lin.chosenK
+	warm := make([]float64, k*dim)
+	for c := 0; c < k; c++ {
+		for d := 0; d < dim; d++ {
+			if span := maxs[d] - mins[d]; span > 0 {
+				v := (lin.centroids[c*dim+d] - mins[d]) / span
+				// New extremes can push an old centroid marginally out of
+				// [0,1]; clamp so it stays inside the data envelope.
+				warm[c*dim+d] = math.Min(1, math.Max(0, v))
+			}
+		}
+	}
+	res, err := cluster.KMeansMatrix(norm, cluster.KMeansConfig{
+		K:           k,
+		WarmStart:   warm,
+		Parallelism: cfg.Parallelism,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", errIncremental, err)
+	}
+	an.Clustering = res
+	an.NormMins = mins
+	an.NormMaxs = maxs
+
+	// Row labels and per-cluster response means over the engine table.
+	an.RowLabels = make([]int, e.tab.NumRows())
+	for i := range an.RowLabels {
+		an.RowLabels[i] = -1
+	}
+	for mi, row := range tabIdx {
+		an.RowLabels[row] = res.Labels[mi]
+	}
+	resp := cols[len(cols)-1]
+	respValid, _ := e.tab.ValidMask(lin.response)
+	sums := make([]float64, k)
+	counts := make([]int, k)
+	for row, lab := range an.RowLabels {
+		if lab < 0 || !respValid[row] {
+			continue
+		}
+		sums[lab] += resp[row]
+		counts[lab]++
+	}
+	an.ClusterResponseMeans = make([]float64, k)
+	for c := 0; c < k; c++ {
+		if counts[c] > 0 {
+			an.ClusterResponseMeans[c] = sums[c] / float64(counts[c])
+		} else {
+			an.ClusterResponseMeans[c] = math.NaN()
+		}
+	}
+
+	// Denormalize the converged centroids for the next warm start.
+	nextRaw := make([]float64, k*dim)
+	for c := 0; c < k; c++ {
+		for d := 0; d < dim; d++ {
+			span := maxs[d] - mins[d]
+			nextRaw[c*dim+d] = res.Centroids[c][d]*span + mins[d]
+		}
+	}
+	return an, nextRaw, nil
+}
+
+// rebuildLineage re-bases the incremental state after a successful full
+// (cold) refresh: the lineage adopts the snapshot's post-clean pre-drop
+// table, re-materializes the appendable clustering matrix once, and
+// records the drift baseline and raw-space centroids of the fresh sweep.
+func (l *Live) rebuildLineage(snap *store.Snapshot, eng *Engine, rep *PreprocessReport, an *Analysis) {
+	l.lineage.release()
+	l.lineage = nil
+	if l.cfg.Incremental.Disable || l.cfg.SkipAnalysis ||
+		an == nil || an.Clustering == nil || rep == nil || rep.preDrop == nil {
+		return
+	}
+	attrs, resp := analysisAttrs(l.cfg.Analysis)
+	raw := rep.preDrop
+	if raw == eng.Table() {
+		// Nothing was dropped, so the pre-drop table aliases the serving
+		// table; the lineage needs its own copy to keep appending to.
+		raw = raw.Clone()
+	}
+	mat, err := matrix.GetAppendable(len(attrs))
+	if err != nil {
+		return
+	}
+	rowIdx, err := raw.DenseMatrixAppend(mat, 0, attrs...)
+	if err != nil {
+		matrix.PutAppendable(mat)
+		return
+	}
+	k := an.Clustering.K
+	dim := len(attrs)
+	centroids := make([]float64, 0, k*dim)
+	for _, c := range an.Clustering.Centroids {
+		for d, v := range c {
+			span := an.NormMaxs[d] - an.NormMins[d]
+			centroids = append(centroids, v*span+an.NormMins[d])
+		}
+	}
+	refStats := make(map[string]stats.Running, len(attrs)+1)
+	for _, a := range append(append([]string(nil), attrs...), resp) {
+		if r, ok := snap.Stats(a); ok && r.Count > 0 {
+			refStats[a] = r
+		}
+	}
+	l.lineage = &lineage{
+		epoch:     snap.Epoch(),
+		raw:       raw,
+		mat:       mat,
+		rowIdx:    rowIdx,
+		attrs:     append([]string(nil), attrs...),
+		response:  resp,
+		refStats:  refStats,
+		centroids: centroids,
+		chosenK:   an.ChosenK,
+	}
+}

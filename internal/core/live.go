@@ -29,13 +29,18 @@ type Live struct {
 	cur atomic.Pointer[Published]
 
 	// refreshMu single-flights Refresh: concurrent callers queue rather
-	// than racing duplicate analyses.
-	refreshMu  sync.Mutex
-	inFlight   atomic.Bool
-	refreshes  atomic.Uint64
-	lastErr    atomic.Pointer[string]
-	lastErrAt  atomic.Int64
-	refreshNow chan struct{}
+	// than racing duplicate analyses. It also guards lineage, the
+	// incremental path's cross-epoch state.
+	refreshMu    sync.Mutex
+	lineage      *lineage
+	inFlight     atomic.Bool
+	refreshes    atomic.Uint64
+	fullRefr     atomic.Uint64
+	incRefreshes atomic.Uint64
+	lastErr      atomic.Pointer[string]
+	lastErrAt    atomic.Int64
+	incErr       atomic.Pointer[string]
+	refreshNow   chan struct{}
 }
 
 // LiveConfig parameterizes the refresh pipeline.
@@ -56,6 +61,10 @@ type LiveConfig struct {
 	// tier (dashboards needing analysis then 404, like a nil-analysis
 	// server).
 	SkipAnalysis bool
+	// Incremental tunes the delta-proportional refresh fast path (see
+	// IncrementalConfig). Enabled by default with a 0.25 drift threshold
+	// and a full sweep at least every 8th refresh.
+	Incremental IncrementalConfig
 }
 
 // Published is one atomically swapped serving state: the engine and
@@ -63,6 +72,10 @@ type LiveConfig struct {
 type Published struct {
 	// Epoch is the store epoch of the snapshot this state was built from.
 	Epoch uint64
+	// Generation is the store ingest generation the snapshot observed; an
+	// unchanged generation lets Refresh skip a no-op recompute with one
+	// atomic load.
+	Generation uint64
 	// Rows is the snapshot row count before preprocessing.
 	Rows int
 	// Snapshot is the frozen store view this state was built from. The
@@ -78,6 +91,14 @@ type Published struct {
 	// RefreshedAt and Took time the refresh.
 	RefreshedAt time.Time
 	Took        time.Duration
+	// Incremental reports whether this state came from the
+	// delta-proportional fast path; DeltaRows / ReusedRows then size the
+	// newly materialized versus zero-copy-reused data, and Drift records
+	// the measured distribution drift since the last full sweep.
+	Incremental bool
+	DeltaRows   int
+	ReusedRows  int
+	Drift       float64
 }
 
 // ErrStoreTooSmall is returned by Refresh when the snapshot has fewer
@@ -111,6 +132,12 @@ func NewLive(st *store.Store, hier *geo.Hierarchy, cfg LiveConfig) (*Live, error
 			cfg.MinRows = 50
 		}
 	}
+	if cfg.Incremental.DriftThreshold <= 0 {
+		cfg.Incremental.DriftThreshold = 0.25
+	}
+	if cfg.Incremental.FullEvery <= 0 {
+		cfg.Incremental.FullEvery = 8
+	}
 	return &Live{store: st, hier: hier, cfg: cfg, refreshNow: make(chan struct{}, 1)}, nil
 }
 
@@ -128,6 +155,26 @@ func (l *Live) Refreshing() bool { return l.inFlight.Load() }
 // Refreshes returns the number of successful refreshes.
 func (l *Live) Refreshes() uint64 { return l.refreshes.Load() }
 
+// FullRefreshes returns how many successful refreshes ran the full
+// pipeline (elbow sweep included).
+func (l *Live) FullRefreshes() uint64 { return l.fullRefr.Load() }
+
+// IncrementalRefreshes returns how many successful refreshes took the
+// delta-proportional fast path.
+func (l *Live) IncrementalRefreshes() uint64 { return l.incRefreshes.Load() }
+
+// LastIncrementalError returns the unexpected error that last killed the
+// incremental fast path (the refresh itself then completed via the cold
+// pipeline), or "" when the last fast-path attempt succeeded or degraded
+// for an expected reason. A persistent value here with climbing
+// FullRefreshes means the fast path is dead and why.
+func (l *Live) LastIncrementalError() string {
+	if p := l.incErr.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
 // LastError returns the most recent refresh failure and its time, or
 // ("", zero) when the last refresh succeeded.
 func (l *Live) LastError() (string, time.Time) {
@@ -137,17 +184,22 @@ func (l *Live) LastError() (string, time.Time) {
 	return "", time.Time{}
 }
 
-// Refresh snapshots the store, runs Preprocess + Analyze on the frozen
-// table and atomically publishes the result. Concurrent calls serialize,
-// and a call finding the store unchanged since the last publication
-// (the store is append-only, so an equal row count means no new data)
-// returns that publication without re-running the pipeline — a stampede
-// of refresh requests costs one analysis, not one per caller. On failure
-// the previously published state keeps serving.
+// Refresh snapshots the store, brings the published state up to date and
+// atomically publishes the result. Concurrent calls serialize, and a call
+// finding the store's ingest generation unchanged since the last
+// publication returns that publication without re-running anything — a
+// stampede of refresh requests (or an idle AutoRefresh ticker) costs one
+// atomic load, not one analysis per caller. In steady state the refresh
+// takes the incremental fast path: it materializes only the delta since
+// the previous epoch and warm-starts clustering from the previous
+// centroids, falling back to the full pipeline on measured distribution
+// drift, every IncrementalConfig.FullEvery-th refresh, or whenever the
+// fast path's preconditions fail. On failure the previously published
+// state keeps serving.
 func (l *Live) Refresh() (*Published, error) {
 	l.refreshMu.Lock()
 	defer l.refreshMu.Unlock()
-	if pub := l.cur.Load(); pub != nil && l.store.Rows() == pub.Rows {
+	if pub := l.cur.Load(); pub != nil && l.store.Generation() == pub.Generation {
 		return pub, nil
 	}
 	l.inFlight.Store(true)
@@ -178,6 +230,9 @@ func (l *Live) refreshLocked() (*Published, error) {
 	if snap.NumRows() < l.cfg.MinRows {
 		return nil, fmt.Errorf("%w: %d rows, need %d", ErrStoreTooSmall, snap.NumRows(), l.cfg.MinRows)
 	}
+	if pub, ok := l.tryIncremental(start, snap, l.cur.Load()); ok {
+		return pub, nil
+	}
 	tab, err := snap.Table()
 	if err != nil {
 		return nil, fmt.Errorf("core: refresh: %w", err)
@@ -188,7 +243,9 @@ func (l *Live) refreshLocked() (*Published, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: refresh: %w", err)
 	}
-	rep, err := eng.Preprocess(l.cfg.Preprocess)
+	pcfg := l.cfg.Preprocess
+	pcfg.keepPreDrop = !l.cfg.Incremental.Disable && !l.cfg.SkipAnalysis
+	rep, err := eng.Preprocess(pcfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: refresh: %w", err)
 	}
@@ -199,8 +256,11 @@ func (l *Live) refreshLocked() (*Published, error) {
 			return nil, fmt.Errorf("core: refresh: %w", err)
 		}
 	}
+	l.rebuildLineage(snap, eng, rep, an)
+	l.fullRefr.Add(1)
 	return &Published{
 		Epoch:       snap.Epoch(),
+		Generation:  snap.Generation(),
 		Rows:        snap.NumRows(),
 		Snapshot:    snap,
 		Engine:      eng,

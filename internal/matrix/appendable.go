@@ -1,0 +1,163 @@
+package matrix
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Appendable is a growable row-major point buffer: the incremental
+// counterpart of Matrix. Rows append at the end into one flat []float64
+// whose capacity doubles on exhaustion, so appending d rows to an n-row
+// buffer costs amortized O(d) — never O(n) — and the previous epoch's rows
+// are reused in place, zero-copy.
+//
+// Matrix() returns a view over the current rows sharing the backing
+// slice. Because rows are only ever appended (never rewritten), a view
+// taken at an earlier length stays valid and immutable while later
+// appends extend the buffer: either the appends land beyond the view's
+// rows, or a reallocation leaves the view pointing at the old, now-frozen
+// array. This is what lets a refresh lineage keep serving epoch N's
+// matrix while epoch N+1 materializes only its delta.
+type Appendable struct {
+	cols int
+	rows int
+	data []float64
+}
+
+// NewAppendable returns an empty appendable point buffer with the given
+// column count.
+func NewAppendable(cols int) (*Appendable, error) {
+	if cols <= 0 {
+		return nil, fmt.Errorf("matrix: appendable with %d columns", cols)
+	}
+	return &Appendable{cols: cols}, nil
+}
+
+// Rows returns the number of appended rows.
+func (a *Appendable) Rows() int { return a.rows }
+
+// Cols returns the column count.
+func (a *Appendable) Cols() int { return a.cols }
+
+// ensure grows the backing slice to hold extra more rows, at least
+// doubling the capacity so a long append sequence costs amortized O(1)
+// per element.
+func (a *Appendable) ensure(extra int) {
+	need := (a.rows + extra) * a.cols
+	if need <= cap(a.data) {
+		return
+	}
+	newCap := 2 * cap(a.data)
+	if newCap < need {
+		newCap = need
+	}
+	if newCap < 16*a.cols {
+		newCap = 16 * a.cols
+	}
+	grown := make([]float64, len(a.data), newCap)
+	copy(grown, a.data)
+	a.data = grown
+}
+
+// AppendRow copies one row (len == Cols) onto the end of the buffer.
+func (a *Appendable) AppendRow(row []float64) error {
+	if len(row) != a.cols {
+		return fmt.Errorf("matrix: appending %d-wide row to %d-column buffer", len(row), a.cols)
+	}
+	a.ensure(1)
+	a.data = append(a.data, row...)
+	a.rows++
+	return nil
+}
+
+// Matrix returns a zero-copy view over the current rows. The view must be
+// treated as read-only; it stays valid across later appends.
+func (a *Appendable) Matrix() *Matrix {
+	return &Matrix{rows: a.rows, cols: a.cols, stride: a.cols, data: a.data[:a.rows*a.cols]}
+}
+
+// Reset empties the buffer for the given column count, keeping the
+// backing capacity. Only safe once no Matrix views of the old contents
+// are live.
+func (a *Appendable) Reset(cols int) {
+	if cols <= 0 {
+		cols = 1
+	}
+	a.cols = cols
+	a.rows = 0
+	a.data = a.data[:0]
+}
+
+// appendablePool recycles Appendable buffers (and their multi-megabyte
+// backing arrays) across refresh lineages.
+var appendablePool = sync.Pool{New: func() any { return &Appendable{cols: 1} }}
+
+// GetAppendable returns a pooled, empty Appendable for the given column
+// count. Return it with PutAppendable once no views of it are live.
+func GetAppendable(cols int) (*Appendable, error) {
+	if cols <= 0 {
+		return nil, fmt.Errorf("matrix: appendable with %d columns", cols)
+	}
+	a := appendablePool.Get().(*Appendable)
+	a.Reset(cols)
+	return a, nil
+}
+
+// PutAppendable recycles an Appendable. The caller must guarantee that no
+// Matrix view of it escapes: pooled reuse rewrites the backing array.
+func PutAppendable(a *Appendable) {
+	if a != nil {
+		appendablePool.Put(a)
+	}
+}
+
+// floatPool recycles the flat scratch slices of per-refresh temporaries
+// (normalized matrices, masks, distance buffers). Get transfers ownership
+// out of the pool entirely; Put hands it back.
+var floatPool sync.Pool
+
+// GetFloats returns a zeroed pooled []float64 of length n.
+func GetFloats(n int) []float64 {
+	if v := floatPool.Get(); v != nil {
+		buf := *(v.(*[]float64))
+		if cap(buf) >= n {
+			buf = buf[:n]
+			for i := range buf {
+				buf[i] = 0
+			}
+			return buf
+		}
+	}
+	return make([]float64, n)
+}
+
+// PutFloats returns a scratch slice to the pool. The caller must not use
+// the slice afterwards.
+func PutFloats(buf []float64) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:0]
+	floatPool.Put(&buf)
+}
+
+// GetMatrix returns a pooled zeroed rows×cols matrix. Return its backing
+// via PutMatrix once no reference escapes.
+func GetMatrix(rows, cols int) (*Matrix, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("matrix: negative shape %dx%d", rows, cols)
+	}
+	if cols > 0 && rows > (1<<48)/cols {
+		return nil, fmt.Errorf("matrix: shape %dx%d overflows", rows, cols)
+	}
+	return &Matrix{rows: rows, cols: cols, stride: cols, data: GetFloats(rows * cols)}, nil
+}
+
+// PutMatrix recycles a matrix obtained from GetMatrix.
+func PutMatrix(m *Matrix) {
+	if m != nil {
+		PutFloats(m.data)
+		m.data = nil
+		m.rows, m.cols, m.stride = 0, 0, 0
+	}
+}

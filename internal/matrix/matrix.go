@@ -322,9 +322,17 @@ func (m *Matrix) ColSums(dst []float64, mask []bool) ([]float64, int) {
 // matches the historical per-row loop bitwise: spans are computed from
 // row-major ColMinMax and each cell maps through (v-min)/span.
 func (m *Matrix) NormalizeColumns() *Matrix {
+	out, _, _ := m.NormalizeColumnsBounds()
+	return out
+}
+
+// NormalizeColumnsBounds is NormalizeColumns plus the per-column min and
+// max bounds it normalized with, so callers needing both (e.g. to map
+// centroids back to raw attribute space) pay one scan, not two.
+func (m *Matrix) NormalizeColumnsBounds() (*Matrix, []float64, []float64) {
 	out := &Matrix{rows: m.rows, cols: m.cols, stride: m.cols, data: make([]float64, m.rows*m.cols)}
 	if m.rows == 0 || m.cols == 0 {
-		return out
+		return out, nil, nil
 	}
 	mins, maxs := m.ColMinMax(nil, nil, nil)
 	for i := 0; i < m.rows; i++ {
@@ -335,5 +343,5 @@ func (m *Matrix) NormalizeColumns() *Matrix {
 			}
 		}
 	}
-	return out
+	return out, mins, maxs
 }

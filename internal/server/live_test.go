@@ -436,3 +436,81 @@ func TestStaticServerStoreRoutes(t *testing.T) {
 		t.Fatalf("static refresh = %d", code)
 	}
 }
+
+// TestStoreReportsIncrementalRefreshStats drives one full and one
+// incremental refresh through the HTTP surface and checks that
+// GET /api/store reports the refresh split, the store generation and the
+// last delta's size/reuse/drift numbers.
+func TestStoreReportsIncrementalRefreshStats(t *testing.T) {
+	ts, _, ds := liveServer(t, 900)
+	half := ds.Table.NumRows() / 2
+	for _, chunk := range csvChunks(t, ds.Table, half)[:1] {
+		if code, body := post(t, ts.URL+"/api/ingest", "text/csv", chunk); code != http.StatusOK {
+			t.Fatalf("ingest = %d: %s", code, body)
+		}
+	}
+	if code, body := post(t, ts.URL+"/api/refresh", "application/json", nil); code != http.StatusOK {
+		t.Fatalf("first refresh = %d: %s", code, body)
+	}
+	// Second half: same distribution, so the refresh takes the fast path.
+	for _, chunk := range csvChunks(t, ds.Table, half)[1:] {
+		if code, body := post(t, ts.URL+"/api/ingest", "text/csv", chunk); code != http.StatusOK {
+			t.Fatalf("ingest = %d: %s", code, body)
+		}
+	}
+	if code, body := post(t, ts.URL+"/api/refresh", "application/json", nil); code != http.StatusOK {
+		t.Fatalf("second refresh = %d: %s", code, body)
+	}
+
+	code, body := get(t, ts.URL+"/api/store")
+	if code != http.StatusOK {
+		t.Fatalf("store = %d", code)
+	}
+	var resp struct {
+		Generation           uint64 `json:"generation"`
+		Refreshes            uint64 `json:"refreshes"`
+		FullRefreshes        uint64 `json:"full_refreshes"`
+		IncrementalRefreshes uint64 `json:"incremental_refreshes"`
+		Published            struct {
+			Incremental bool    `json:"incremental"`
+			DeltaRows   int     `json:"delta_rows"`
+			ReusedRows  int     `json:"reused_rows"`
+			Drift       float64 `json:"drift"`
+		} `json:"published"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("store body: %v", err)
+	}
+	if resp.Generation == 0 {
+		t.Fatal("store generation not reported")
+	}
+	if resp.Refreshes != 2 || resp.FullRefreshes != 1 || resp.IncrementalRefreshes != 1 {
+		t.Fatalf("refresh split = %d total / %d full / %d incremental",
+			resp.Refreshes, resp.FullRefreshes, resp.IncrementalRefreshes)
+	}
+	if !resp.Published.Incremental {
+		t.Fatal("published state not marked incremental")
+	}
+	if resp.Published.DeltaRows <= 0 || resp.Published.ReusedRows <= 0 {
+		t.Fatalf("delta/reuse stats = %d/%d", resp.Published.DeltaRows, resp.Published.ReusedRows)
+	}
+	if resp.Published.Drift < 0 {
+		t.Fatalf("drift = %v", resp.Published.Drift)
+	}
+
+	// A refresh with nothing new must not change the split (generation
+	// skip) — exercised through the HTTP surface.
+	if code, body := post(t, ts.URL+"/api/refresh", "application/json", nil); code != http.StatusOK {
+		t.Fatalf("no-op refresh = %d: %s", code, body)
+	}
+	_, body = get(t, ts.URL+"/api/store")
+	var after struct {
+		Refreshes uint64 `json:"refreshes"`
+	}
+	if err := json.Unmarshal([]byte(body), &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Refreshes != 2 {
+		t.Fatalf("no-op refresh re-ran the pipeline (refreshes = %d)", after.Refreshes)
+	}
+}

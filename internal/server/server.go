@@ -549,7 +549,15 @@ type storeResponse struct {
 	Published  *publishedInfo `json:"published,omitempty"`
 	Refreshing bool           `json:"refreshing"`
 	Refreshes  uint64         `json:"refreshes"`
-	LastError  string         `json:"last_error,omitempty"`
+	// FullRefreshes and IncrementalRefreshes split Refreshes by pipeline:
+	// the full Preprocess→Analyze runs versus the delta-proportional fast
+	// path (see the published block for the latest delta's sizes).
+	FullRefreshes        uint64 `json:"full_refreshes"`
+	IncrementalRefreshes uint64 `json:"incremental_refreshes"`
+	LastError            string `json:"last_error,omitempty"`
+	// LastIncrementalError reports an unexpected fast-path failure whose
+	// refresh still completed via the full pipeline.
+	LastIncrementalError string `json:"last_incremental_error,omitempty"`
 	// LiveStats (?attr=) and LiveCounts (?by=) read the store's
 	// incrementally maintained summaries: the up-to-the-last-append view,
 	// ahead of the published analysis the other APIs serve.
@@ -580,6 +588,14 @@ type publishedInfo struct {
 	ServingRows int     `json:"serving_rows"`
 	RefreshedAt string  `json:"refreshed_at"`
 	TookSeconds float64 `json:"took_seconds"`
+	// Incremental marks a state published by the delta-proportional fast
+	// path; delta_rows/reused_rows then size the newly materialized
+	// versus zero-copy-reused data, and drift is the measured
+	// distribution drift since the last full sweep.
+	Incremental bool    `json:"incremental"`
+	DeltaRows   int     `json:"delta_rows,omitempty"`
+	ReusedRows  int     `json:"reused_rows,omitempty"`
+	Drift       float64 `json:"drift,omitempty"`
 }
 
 func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
@@ -589,9 +605,11 @@ func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
 	}
 	st := s.live.Store()
 	resp := storeResponse{
-		Status:     st.Status(),
-		Refreshing: s.live.Refreshing(),
-		Refreshes:  s.live.Refreshes(),
+		Status:               st.Status(),
+		Refreshing:           s.live.Refreshing(),
+		Refreshes:            s.live.Refreshes(),
+		FullRefreshes:        s.live.FullRefreshes(),
+		IncrementalRefreshes: s.live.IncrementalRefreshes(),
 	}
 	if attr := r.URL.Query().Get("attr"); attr != "" {
 		rs, ok := st.RunningStats(attr)
@@ -615,6 +633,7 @@ func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
 	if msg, _ := s.live.LastError(); msg != "" {
 		resp.LastError = msg
 	}
+	resp.LastIncrementalError = s.live.LastIncrementalError()
 	if s.cache != nil {
 		hits, misses, size := s.cache.stats()
 		resp.QueryCache = &cacheInfo{Hits: hits, Misses: misses, Size: size}
@@ -626,6 +645,10 @@ func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
 			ServingRows: pub.Engine.Table().NumRows(),
 			RefreshedAt: pub.RefreshedAt.UTC().Format("2006-01-02T15:04:05Z"),
 			TookSeconds: pub.Took.Seconds(),
+			Incremental: pub.Incremental,
+			DeltaRows:   pub.DeltaRows,
+			ReusedRows:  pub.ReusedRows,
+			Drift:       pub.Drift,
 		}
 	}
 	writeJSON(w, resp)

@@ -21,6 +21,27 @@ func (s *Store) Append(rec Record) (IngestResult, error) {
 	return s.AppendRecords([]Record{rec})
 }
 
+// getRecScratch returns pooled per-batch scratch (an empty projection
+// table over the store schema plus a cell buffer); putRecScratch recycles
+// it. Safe because AppendTable copies every value into shard storage —
+// nothing the scratch owns outlives the append call.
+func (s *Store) getRecScratch() (*recScratch, error) {
+	if sc, ok := s.recPool.Get().(*recScratch); ok {
+		sc.batch.Reset()
+		return sc, nil
+	}
+	batch, err := table.NewWithSchema(s.schema)
+	if err != nil {
+		return nil, err
+	}
+	return &recScratch{batch: batch, cells: make([]table.Cell, len(s.schema))}, nil
+}
+
+func (s *Store) putRecScratch(sc *recScratch) {
+	sc.batch.Reset()
+	s.recPool.Put(sc)
+}
+
 // AppendRecords projects records onto the store schema and ingests them
 // as one atomic batch. Records that fail projection (unknown attribute,
 // uncoercible value) are rejected individually; the remainder proceeds.
@@ -29,15 +50,14 @@ func (s *Store) AppendRecords(recs []Record) (IngestResult, error) {
 	if len(recs) == 0 {
 		return res, nil
 	}
-	pos := make(map[string]int, len(s.schema))
-	for i, f := range s.schema {
-		pos[f.Name] = i
-	}
-	batch, err := table.NewWithSchema(s.schema)
+	sc, err := s.getRecScratch()
 	if err != nil {
 		return res, err
 	}
-	cells := make([]table.Cell, len(s.schema))
+	defer s.putRecScratch(sc)
+	pos := s.colPos
+	batch := sc.batch
+	cells := sc.cells
 	for ri, rec := range recs {
 		for i := range cells {
 			cells[i] = table.Cell{}

@@ -15,11 +15,17 @@ import (
 // store is invisible to it — and never observes a partially applied
 // batch.
 type Snapshot struct {
-	epoch  uint64
-	rows   int
-	schema []table.Field
+	epoch      uint64
+	generation uint64
+	rows       int
+	schema     []table.Field
 	// segs[i] lists shard i's sealed segments at snapshot time.
 	segs [][]*table.Table
+	// shardRows[i] is shard i's total row count at snapshot time; history
+	// carries the same counts for recent earlier epochs so DeltaSince can
+	// locate a baseline without reaching back into the store.
+	shardRows []int
+	history   []epochRows
 	// index[i] holds shard i's secondary-index headers at snapshot time.
 	// The slices are append-only on the store side, so sharing the
 	// headers is safe: a later append grows the store's copy, never the
@@ -47,8 +53,10 @@ func (s *Store) Snapshot() *Snapshot {
 
 	snap := &Snapshot{
 		epoch:      s.epoch.Add(1),
+		generation: s.generation.Load(),
 		schema:     s.schema,
 		segs:       make([][]*table.Table, len(s.shards)),
+		shardRows:  make([]int, len(s.shards)),
 		index:      make([]map[string]map[string][]int, len(s.shards)),
 		stats:      make(map[string]stats.Running, len(s.cfg.StatsAttrs)),
 		shardStats: make([]map[string]stats.Running, len(s.shards)),
@@ -63,6 +71,7 @@ func (s *Store) Snapshot() *Snapshot {
 			segs = append(segs, sh.tail.Clone())
 		}
 		snap.segs[i] = segs
+		snap.shardRows[i] = sh.rows
 		snap.rows += sh.rows
 
 		idx := make(map[string]map[string][]int, len(sh.index))
@@ -85,11 +94,41 @@ func (s *Store) Snapshot() *Snapshot {
 		snap.shardStats[i] = perShard
 		sh.mu.Unlock()
 	}
+	// Share the remembered baselines (older epochs) with the snapshot,
+	// then remember this epoch. The slice is append-only and re-sliced
+	// from the front, so sharing the prefix with snapshots is safe.
+	snap.history = s.history
+	s.history = append(s.history, epochRows{epoch: snap.epoch, shardRows: snap.shardRows})
+	if len(s.history) > maxSnapHistory {
+		// Copy rather than re-slice so the backing array cannot grow
+		// unboundedly under snapshots holding old prefixes.
+		trimmed := make([]epochRows, maxSnapHistory)
+		copy(trimmed, s.history[len(s.history)-maxSnapHistory:])
+		s.history = trimmed
+	}
 	return snap
 }
 
 // Epoch returns the snapshot's epoch number.
 func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
+
+// Generation returns the store ingest generation the snapshot observed.
+func (sn *Snapshot) Generation() uint64 { return sn.generation }
+
+// ShardRows returns shard i's row count at snapshot time.
+func (sn *Snapshot) ShardRows(i int) int { return sn.shardRows[i] }
+
+// StatsAttrs returns the numeric attributes with tracked summary
+// statistics, in schema order.
+func (sn *Snapshot) StatsAttrs() []string {
+	out := make([]string, 0, len(sn.stats))
+	for _, f := range sn.schema {
+		if _, ok := sn.stats[f.Name]; ok {
+			out = append(out, f.Name)
+		}
+	}
+	return out
+}
 
 // NumRows returns the total row count of the snapshot.
 func (sn *Snapshot) NumRows() int { return sn.rows }

@@ -110,8 +110,44 @@ type Store struct {
 	accepted atomic.Uint64
 	rejected atomic.Uint64
 
-	keyCol int // schema position of KeyAttr, -1 when absent
+	// generation counts batches that actually landed rows: it bumps once
+	// per append call with accepted rows and never otherwise, so an
+	// unchanged generation means an unchanged store — the O(1) no-op test
+	// refresh loops use instead of locking every shard to count rows.
+	generation atomic.Uint64
+
+	// history records the per-shard row counts of recent snapshot epochs
+	// (newest last, bounded by maxSnapHistory) so a later snapshot can
+	// compute the exact segment-level delta against any remembered epoch.
+	// Guarded by mu's write side (only Snapshot touches it).
+	history []epochRows
+
+	keyCol int            // schema position of KeyAttr, -1 when absent
+	colPos map[string]int // schema position by column name
+
+	// recPool recycles the per-batch scratch of AppendRecords (the
+	// projection table and its cell buffer), so a high-rate record ingest
+	// endpoint allocates per batch only what the shards must keep.
+	recPool sync.Pool
 }
+
+// recScratch is the pooled per-batch scratch of the record ingest path.
+type recScratch struct {
+	batch *table.Table
+	cells []table.Cell
+}
+
+// epochRows is one remembered snapshot baseline: the epoch and how many
+// rows each shard held when it was taken.
+type epochRows struct {
+	epoch     uint64
+	shardRows []int
+}
+
+// maxSnapHistory bounds the remembered snapshot baselines. Refresh loops
+// take one snapshot per cycle, so a depth of 16 covers any realistic
+// consumer lag; deltas against older epochs fall back to a full rebuild.
+const maxSnapHistory = 16
 
 // New builds an empty store. Zero-valued config fields take their
 // defaults; index and stats attributes must exist in the schema with the
@@ -182,7 +218,7 @@ func New(cfg Config) (*Store, error) {
 		keyCol = i
 	}
 
-	s := &Store{cfg: cfg, schema: cfg.Schema, keyCol: keyCol}
+	s := &Store{cfg: cfg, schema: cfg.Schema, keyCol: keyCol, colPos: pos}
 	s.shards = make([]*shard, cfg.Shards)
 	for i := range s.shards {
 		tail, err := table.NewWithSchema(cfg.Schema)
@@ -213,6 +249,12 @@ func (s *Store) NumShards() int { return len(s.shards) }
 
 // Epoch returns the snapshot epoch (number of snapshots taken so far).
 func (s *Store) Epoch() uint64 { return s.epoch.Load() }
+
+// Generation returns the ingest generation: the number of append calls
+// that landed at least one row. Reading it is one atomic load, so callers
+// may poll it cheaply to detect whether anything changed since a
+// remembered generation (e.g. to skip a no-op refresh).
+func (s *Store) Generation() uint64 { return s.generation.Load() }
 
 // Rows returns the current total row count across shards.
 func (s *Store) Rows() int {
@@ -261,14 +303,11 @@ func (s *Store) AppendTable(t *table.Table) (IngestResult, error) {
 	if t == nil || t.NumRows() == 0 {
 		return res, nil
 	}
-	ref, err := table.NewWithSchema(s.schema)
-	if err != nil {
-		return res, err
-	}
-	if !ref.SchemaEquals(t) {
+	if !t.SchemaMatches(s.schema) {
 		// Typed CSV and binary batches are self-describing, so a batch
 		// carrying the right columns in a different order is fine:
 		// project it onto the store's column order by name.
+		var err error
 		if t, err = s.conform(t); err != nil {
 			return res, err
 		}
@@ -313,6 +352,9 @@ func (s *Store) AppendTable(t *table.Table) (IngestResult, error) {
 	res.Accepted = t.NumRows()
 	s.accepted.Add(uint64(res.Accepted))
 	s.rejected.Add(uint64(res.Rejected))
+	if res.Accepted > 0 {
+		s.generation.Add(1)
+	}
 	return res, nil
 }
 
@@ -424,6 +466,7 @@ type Status struct {
 	Shards      []ShardStatus `json:"shards"`
 	Rows        int           `json:"rows"`
 	Epoch       uint64        `json:"epoch"`
+	Generation  uint64        `json:"generation"`
 	Accepted    uint64        `json:"accepted"`
 	Rejected    uint64        `json:"rejected"`
 	Columns     int           `json:"columns"`
@@ -487,6 +530,7 @@ func (s *Store) Status() Status {
 	defer s.mu.RUnlock()
 	st := Status{
 		Epoch:       s.epoch.Load(),
+		Generation:  s.generation.Load(),
 		Accepted:    s.accepted.Load(),
 		Rejected:    s.rejected.Load(),
 		Columns:     len(s.schema),

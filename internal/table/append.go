@@ -32,6 +32,20 @@ func NewWithSchema(fields []Field) (*Table, error) {
 	return t, nil
 }
 
+// Reset truncates the table to zero rows in place, keeping every column's
+// backing capacity — the pooling primitive of the streaming ingest path,
+// where per-batch scratch tables are recycled instead of reallocated.
+// Safe only on tables whose columns no other table shares (Reset-and-
+// refill would otherwise rewrite memory a Select view still reads).
+func (t *Table) Reset() {
+	for _, c := range t.cols {
+		c.Floats = c.Floats[:0]
+		c.Strs = c.Strs[:0]
+		c.Valid = c.Valid[:0]
+	}
+	t.rows = 0
+}
+
 // SchemaEquals reports whether t and o have identical schemas: the same
 // column names with the same types in the same order.
 func (t *Table) SchemaEquals(o *Table) bool {
@@ -40,6 +54,21 @@ func (t *Table) SchemaEquals(o *Table) bool {
 	}
 	for i, c := range t.cols {
 		if o.cols[i].Name != c.Name || o.cols[i].Typ != c.Typ {
+			return false
+		}
+	}
+	return true
+}
+
+// SchemaMatches reports whether the table's schema is exactly the given
+// field list — the allocation-free form of SchemaEquals for hot ingest
+// paths that hold a schema, not a table.
+func (t *Table) SchemaMatches(fields []Field) bool {
+	if len(t.cols) != len(fields) {
+		return false
+	}
+	for i, c := range t.cols {
+		if fields[i].Name != c.Name || fields[i].Type != c.Typ {
 			return false
 		}
 	}

@@ -1,0 +1,130 @@
+package table
+
+import (
+	"math"
+	"testing"
+
+	"indice/internal/matrix"
+)
+
+func incrTestTable(t *testing.T, n int) *Table {
+	t.Helper()
+	a := make([]float64, n)
+	b := make([]float64, n)
+	valid := make([]bool, n)
+	for i := 0; i < n; i++ {
+		a[i] = float64(i)
+		b[i] = float64(-i)
+		valid[i] = i%5 != 3 // every 5th-ish row incomplete
+	}
+	tab := New()
+	if err := tab.AddFloats("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddFloatsValid("b", b, valid); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// TestDenseMatrixAppendMatchesDenseMatrix pins the incremental
+// materialization to the one-shot path: appending [0, n) in two chunks
+// yields exactly DenseMatrix's rows and row index.
+func TestDenseMatrixAppendMatchesDenseMatrix(t *testing.T) {
+	tab := incrTestTable(t, 137)
+	want, wantIdx, err := tab.DenseMatrix("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ap, err := matrix.NewAppendable(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx1, err := tab.DenseMatrixAppend(ap, 0, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx1) != want.Rows() {
+		t.Fatalf("one-shot append rows = %d, want %d", len(idx1), want.Rows())
+	}
+
+	// Now the incremental shape: a base prefix, then only the suffix.
+	ap2, err := matrix.NewAppendable(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const split = 61
+	base, err := tab.Slice(0, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxA, err := base.DenseMatrixAppend(ap2, 0, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxB, err := tab.DenseMatrixAppend(ap2, split, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ap2.Matrix()
+	if got.Rows() != want.Rows() {
+		t.Fatalf("incremental rows = %d, want %d", got.Rows(), want.Rows())
+	}
+	all := append(append([]int(nil), idxA...), idxB...)
+	for i := range all {
+		if all[i] != wantIdx[i] {
+			t.Fatalf("rowIdx[%d] = %d, want %d", i, all[i], wantIdx[i])
+		}
+		for d := 0; d < 2; d++ {
+			if got.At(i, d) != want.At(i, d) {
+				t.Fatalf("cell (%d,%d) = %v, want %v", i, d, got.At(i, d), want.At(i, d))
+			}
+		}
+	}
+
+	if _, err := tab.DenseMatrixAppend(ap2, -1, "a", "b"); err == nil {
+		t.Fatal("want error for negative fromRow")
+	}
+	if _, err := tab.DenseMatrixAppend(ap2, tab.NumRows()+1, "a", "b"); err == nil {
+		t.Fatal("want error for out-of-range fromRow")
+	}
+	if _, err := tab.DenseMatrixAppend(ap2, 0, "a"); err == nil {
+		t.Fatal("want error for column-count mismatch")
+	}
+	if _, err := tab.DenseMatrixAppend(ap, 0, "a", "missing"); err == nil {
+		t.Fatal("want error for unknown column")
+	}
+}
+
+func TestTableReset(t *testing.T) {
+	tab, err := NewWithSchema([]Field{{Name: "x", Type: Float64}, {Name: "s", Type: String}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		err := tab.AppendRow([]Cell{{Float: float64(i), Valid: true}, {Str: "v", Valid: true}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	tab.Reset()
+	if tab.NumRows() != 0 {
+		t.Fatalf("rows after reset = %d", tab.NumRows())
+	}
+	// Refill after reset must behave like a fresh table.
+	err = tab.AppendRow([]Cell{{Float: math.NaN(), Valid: true}, {Valid: false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 1 {
+		t.Fatalf("rows after refill = %d", tab.NumRows())
+	}
+	mask, err := tab.ValidMask("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mask) != 1 || mask[0] {
+		t.Fatalf("NaN refill mask = %v", mask)
+	}
+}
