@@ -934,3 +934,114 @@ func BenchmarkE10Query(b *testing.B) {
 		}
 	})
 }
+
+// e13Open builds one store for an E13 durability variant: in-memory
+// (the pre-durability baseline), WAL without explicit fsync (page-cache
+// durability: survives kill -9, not power loss) and WAL with fsync per
+// ack (full durability). Auto-checkpointing is disabled so the ingest
+// numbers isolate the pure log-ahead cost.
+func e13Open(b *testing.B, mode string) *store.Store {
+	b.Helper()
+	cfg := store.Config{
+		Shards:     4,
+		Schema:     e12Schema(),
+		KeyAttr:    epc.AttrCertificateID,
+		IndexAttrs: []string{epc.AttrDistrict},
+	}
+	if mode == "memory" {
+		st, err := store.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return st
+	}
+	fsync := store.FsyncOff
+	if mode == "wal-fsync" {
+		fsync = store.FsyncAlways
+	}
+	st, err := store.Open(cfg, store.Durability{
+		Dir: b.TempDir(), Fsync: fsync, MaxWALBytes: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkE13Durability prices the persistence layer added with the
+// durable-segment-store PR. The ingest variants time one acked 2000-row
+// batch through the three durability modes — the memory/wal-nofsync gap
+// is the framing+write cost, the wal-nofsync/wal-fsync gap is the disk
+// flush the ack waits on. The recover variants time a full boot
+// (manifest + segment adoption + WAL replay) over a 40k-row directory:
+// wal-only replays everything from the log; checkpoint+wal adopts half
+// from checkpoint segments and replays the other half. Captured numbers
+// live in BENCH_durability.json; methodology in docs/benchmarks.md.
+func BenchmarkE13Durability(b *testing.B) {
+	const batchRows = 2000
+	for _, mode := range []string{"memory", "wal-nofsync", "wal-fsync"} {
+		b.Run("ingest/"+mode, func(b *testing.B) {
+			st := e13Open(b, mode)
+			defer st.Close()
+			batch := e12Batch(b, 0, batchRows, 7)
+			b.ReportAllocs()
+			b.SetBytes(int64(batchRows))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.AppendTable(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	const bootRows = 40_000
+	for _, mode := range []string{"wal-only", "checkpoint+wal"} {
+		b.Run("recover/"+mode, func(b *testing.B) {
+			dir := b.TempDir()
+			cfg := store.Config{
+				Shards:     4,
+				Schema:     e12Schema(),
+				KeyAttr:    epc.AttrCertificateID,
+				IndexAttrs: []string{epc.AttrDistrict},
+			}
+			dur := store.Durability{Dir: dir, Fsync: store.FsyncOff, MaxWALBytes: -1}
+			st, err := store.Open(cfg, dur)
+			if err != nil {
+				b.Fatal(err)
+			}
+			half := bootRows / 2
+			if _, err := st.AppendTable(e12Batch(b, 0, half, 11)); err != nil {
+				b.Fatal(err)
+			}
+			if mode == "checkpoint+wal" {
+				if _, err := st.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := st.AppendTable(e12Batch(b, half, bootRows, 12)); err != nil {
+				b.Fatal(err)
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.SetBytes(int64(bootRows))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := store.Open(cfg, dur)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Rows() != bootRows {
+					b.Fatalf("recovered %d rows, want %d", st.Rows(), bootRows)
+				}
+				b.StopTimer()
+				if err := st.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}

@@ -39,6 +39,7 @@ func main() {
 		stream         = flag.String("stream", "", "POST the collection to this ingestion endpoint instead of writing -out")
 		batchSize      = flag.Int("batch", 2000, "rows per ingestion batch when -stream is set")
 		streamInterval = flag.Duration("stream-interval", 0, "pause between ingestion batches when -stream is set")
+		crashAfter     = flag.Int("crash-after", 0, "with -stream: exit abruptly (no summary, status 7) after this many acked batches — the crash-recovery e2e driver")
 	)
 	flag.Parse()
 
@@ -68,7 +69,7 @@ func main() {
 	}
 
 	if *stream != "" {
-		if err := streamTo(*stream, tab, *batchSize, *streamInterval); err != nil {
+		if err := streamTo(*stream, tab, *batchSize, *streamInterval, *crashAfter); err != nil {
 			fatal(err)
 		}
 		return
@@ -118,14 +119,19 @@ func main() {
 }
 
 // streamTo POSTs the table to a live ingestion endpoint in typed-CSV
-// batches, reporting throughput as it goes.
-func streamTo(url string, tab *table.Table, batchSize int, pause time.Duration) error {
+// batches, reporting throughput as it goes. With crashAfter > 0 the
+// process exits abruptly once that many batches are acked, printing the
+// exact acked row count on its last line — the e2e kill-9 harness
+// streams, "crashes", restarts the server and asserts those rows
+// survived.
+func streamTo(url string, tab *table.Table, batchSize int, pause time.Duration, crashAfter int) error {
 	if batchSize < 1 {
 		return fmt.Errorf("batch size %d", batchSize)
 	}
 	client := &http.Client{Timeout: 2 * time.Minute}
 	start := time.Now()
 	sent, rejected := 0, 0
+	ackedBatches := 0
 	for off := 0; off < tab.NumRows(); off += batchSize {
 		end := off + batchSize
 		if end > tab.NumRows() {
@@ -159,8 +165,15 @@ func streamTo(url string, tab *table.Table, batchSize int, pause time.Duration) 
 		}
 		sent += ack.Accepted
 		rejected += ack.Rejected
+		ackedBatches++
 		fmt.Fprintf(os.Stderr, "\rstreamed %d/%d certificates (%d rejected, store at %d rows)",
 			sent, tab.NumRows(), rejected, ack.Rows)
+		if crashAfter > 0 && ackedBatches >= crashAfter {
+			// Simulated crash: no summary, no cleanup, a distinctive exit
+			// code. The acked count goes to stdout for the harness.
+			fmt.Printf("crash-after: acked_batches=%d acked_rows=%d\n", ackedBatches, sent)
+			os.Exit(7)
+		}
 		if pause > 0 {
 			time.Sleep(pause)
 		}

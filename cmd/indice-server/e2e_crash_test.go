@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestE2EKillNineRecovery is the full-stack durability check: a real
+// indice-server process on a real data directory, a real epcgen client
+// streaming over HTTP that "crashes" via -crash-after, then kill -9 on
+// the server itself. A restart over the same directory must serve every
+// row the client saw acked — the paper's live-ingestion deployment story
+// with the power cord pulled.
+func TestE2EKillNineRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives real binaries; skipped in -short")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+
+	bins := t.TempDir()
+	serverBin := filepath.Join(bins, "indice-server")
+	epcgenBin := filepath.Join(bins, "epcgen")
+	for pkg, out := range map[string]string{
+		"indice/cmd/indice-server": serverBin,
+		"indice/cmd/epcgen":        epcgenBin,
+	} {
+		cmd := exec.Command(goBin, "build", "-o", out, pkg)
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, msg)
+		}
+	}
+
+	dataDir := t.TempDir()
+
+	// Boot 1: empty durable server on an ephemeral port.
+	srv, addr := startServer(t, serverBin, dataDir)
+
+	// Stream 3000 synthetic certificates in 500-row batches, crashing the
+	// client after 4 acks. Exit status 7 marks the deliberate crash path.
+	gen := exec.Command(epcgenBin,
+		"-n", "3000", "-seed", "42",
+		"-stream", "http://"+addr+"/api/ingest",
+		"-batch", "500", "-crash-after", "4")
+	var genOut, genErr bytes.Buffer
+	gen.Stdout, gen.Stderr = &genOut, &genErr
+	err = gen.Run()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() != 7 {
+		t.Fatalf("epcgen -crash-after: err=%v (want exit status 7)\nstdout: %s\nstderr: %s",
+			err, genOut.String(), genErr.String())
+	}
+	var ackedBatches, ackedRows int
+	if _, err := fmt.Sscanf(genOut.String(), "crash-after: acked_batches=%d acked_rows=%d",
+		&ackedBatches, &ackedRows); err != nil {
+		t.Fatalf("parsing epcgen crash line %q: %v", genOut.String(), err)
+	}
+	if ackedBatches != 4 || ackedRows != 2000 {
+		t.Fatalf("acked %d batches / %d rows, want 4 / 2000", ackedBatches, ackedRows)
+	}
+
+	// kill -9: no shutdown hook, no store close, no final fsync beyond
+	// what each ack already forced.
+	if err := srv.Process.Kill(); err != nil {
+		t.Fatalf("kill -9: %v", err)
+	}
+	_ = srv.Wait()
+
+	// Boot 2 over the same directory.
+	srv2, addr2 := startServer(t, serverBin, dataDir)
+	defer func() {
+		_ = srv2.Process.Kill()
+		_ = srv2.Wait()
+	}()
+
+	resp, err := http.Get("http://" + addr2 + "/api/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/store = %d (%v): %s", resp.StatusCode, err, body)
+	}
+	var status struct {
+		Rows       int    `json:"rows"`
+		Accepted   uint64 `json:"accepted"`
+		Durability *struct {
+			Enabled  bool `json:"enabled"`
+			Recovery *struct {
+				CheckpointRows  int `json:"checkpoint_rows"`
+				ReplayedBatches int `json:"replayed_batches"`
+				ReplayedRows    int `json:"replayed_rows"`
+			} `json:"recovery"`
+		} `json:"durability"`
+	}
+	if err := json.Unmarshal(body, &status); err != nil {
+		t.Fatalf("decoding /api/store: %v\n%s", err, body)
+	}
+	// The client stopped before the kill, so nothing was in flight: the
+	// recovered store holds the acked rows exactly — no loss, no ghosts.
+	if status.Rows != ackedRows {
+		t.Fatalf("recovered rows = %d, want the %d acked before kill -9", status.Rows, ackedRows)
+	}
+	if status.Accepted != uint64(ackedRows) {
+		t.Fatalf("recovered accepted counter = %d, want %d", status.Accepted, ackedRows)
+	}
+	if status.Durability == nil || !status.Durability.Enabled || status.Durability.Recovery == nil {
+		t.Fatalf("restart reports no recovery: %s", body)
+	}
+	rec := status.Durability.Recovery
+	if rec.CheckpointRows+rec.ReplayedRows != ackedRows || rec.ReplayedBatches == 0 {
+		t.Fatalf("recovery accounting %+v does not add up to %d rows", rec, ackedRows)
+	}
+
+	// The recovered corpus is queryable, not just countable.
+	if code, body := postEmpty(t, "http://"+addr2+"/api/refresh"); code != http.StatusOK {
+		t.Fatalf("post-recovery /api/refresh = %d: %s", code, body)
+	}
+}
+
+// startServer launches the built indice-server binary in durable live
+// mode on an ephemeral port and parses the announced listen address.
+func startServer(t *testing.T, bin, dataDir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-ingest", "-n", "0", "-shards", "2",
+		"-data-dir", dataDir, "-fsync", "always",
+		"-addr", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	var logMu sync.Mutex
+	var logs bytes.Buffer
+	dump := func() string {
+		logMu.Lock()
+		defer logMu.Unlock()
+		return logs.String()
+	}
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			logMu.Lock()
+			logs.WriteString(line + "\n")
+			logMu.Unlock()
+			if rest, ok := strings.CutPrefix(line, "serving INDICE on "); ok {
+				select {
+				case addrCh <- strings.TrimSpace(rest):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		// Wait until the API actually answers before handing it out.
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			resp, err := http.Get("http://" + addr + "/api/store")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return cmd, addr
+				}
+			}
+			if time.Now().After(deadline) {
+				_ = cmd.Process.Kill()
+				t.Fatalf("server at %s never became healthy\n%s", addr, dump())
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatalf("server never announced its address\n%s", dump())
+	}
+	panic("unreachable")
+}
+
+func postEmpty(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b
+}

@@ -11,6 +11,13 @@
 //
 //	indice-server -ingest -refresh-interval 30s -shards 4 -addr :8080
 //
+// With -data-dir the live store is durable: every acked ingest batch is
+// written ahead to a crash-safe log before it becomes visible, sealed
+// segments are checkpointed to disk, and a restart over the same
+// directory recovers exactly the acked state — kill -9 loses nothing:
+//
+//	indice-server -ingest -data-dir /var/lib/indice -fsync always
+//
 // Routes: / (navigation), /dashboard/{stakeholder}, /map?level=&attr=,
 // /api/{stats,zones,rules,clusters}; live mode adds
 // /api/{ingest,refresh,store}.
@@ -22,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -54,6 +62,9 @@ func main() {
 		refreshInterval = flag.Duration("refresh-interval", 0, "live mode: re-run the pipeline this often (0 = only on POST /api/refresh)")
 		shards          = flag.Int("shards", 4, "live mode: store shard count")
 		validate        = flag.Bool("validate", false, "live mode: reject ingested rows violating the EPC attribute specs")
+		dataDir         = flag.String("data-dir", "", "live mode: persist the store here (WAL + checkpoints); empty keeps it in memory. A non-empty directory is recovered on boot")
+		fsyncMode       = flag.String("fsync", "always", "live mode WAL flush policy with -data-dir: always, interval or off")
+		residentRows    = flag.Int("max-resident-rows", 0, "live mode with -data-dir: evict checkpointed segments beyond this many resident rows (0 = keep all in memory)")
 		pprofAddr       = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling (default)")
 	)
 	flag.Parse()
@@ -142,23 +153,30 @@ func main() {
 	}
 
 	var handler http.Handler
+	closeStore := func() error { return nil }
 	if *ingest {
-		handler = buildLive(ctx, tab, hier, opts, workers, *kMax, *shards, *validate, *refreshInterval)
+		handler, closeStore = buildLive(ctx, tab, hier, opts, workers, *kMax, *shards, *validate,
+			*refreshInterval, *dataDir, *fsyncMode, *residentRows)
 	} else {
 		handler = buildStatic(tab, hier, opts, workers, *kMax, *use)
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		WriteTimeout:      5 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
+	// Bind before announcing, so ':0' reports the actual port — test
+	// drivers (and the epcgen kill-9 harness) parse this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "serving INDICE on %s\n", *addr)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "serving INDICE on %s\n", ln.Addr())
 
 	select {
 	case err := <-errCh:
@@ -169,6 +187,9 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
 			log.Fatalf("shutdown: %v", err)
+		}
+		if err := closeStore(); err != nil {
+			log.Fatalf("store close: %v", err)
 		}
 		fmt.Fprintln(os.Stderr, "bye")
 	}
@@ -210,17 +231,44 @@ func buildStatic(tab *table.Table, hier *geo.Hierarchy, opts core.Options, worke
 }
 
 // buildLive seeds the sharded store, starts the auto-refresh loop and
-// serves from the published snapshots.
+// serves from the published snapshots. With a data directory the store
+// is opened durably — previous state is recovered and every acked ingest
+// hits the WAL — and the returned closer flushes it on shutdown.
 func buildLive(ctx context.Context, tab *table.Table, hier *geo.Hierarchy, opts core.Options,
-	workers, kMax, shards int, validate bool, refreshInterval time.Duration) http.Handler {
+	workers, kMax, shards int, validate bool, refreshInterval time.Duration,
+	dataDir, fsyncMode string, residentRows int) (http.Handler, func() error) {
 	scfg := store.DefaultConfig()
 	scfg.Shards = shards
 	scfg.Validate = validate
-	st, err := store.New(scfg)
+	var st *store.Store
+	var err error
+	if dataDir != "" {
+		mode, merr := store.ParseFsyncMode(fsyncMode)
+		if merr != nil {
+			log.Fatal(merr)
+		}
+		st, err = store.Open(scfg, store.Durability{
+			Dir: dataDir, Fsync: mode, MaxResidentRows: residentRows,
+		})
+		if err == nil {
+			if rec := st.RecoveryInfo(); rec != (store.RecoveryInfo{}) {
+				fmt.Fprintf(os.Stderr,
+					"recovered %s: %d rows from %d checkpoint segments, %d batches (%d rows) replayed from wal in %v\n",
+					dataDir, rec.CheckpointRows, rec.CheckpointSegments,
+					rec.ReplayedBatches, rec.ReplayedRows, rec.Took.Round(time.Millisecond))
+			} else {
+				fmt.Fprintf(os.Stderr, "durable store on fresh %s (fsync=%s)\n", dataDir, mode)
+			}
+		}
+	} else {
+		st, err = store.New(scfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	if tab != nil && tab.NumRows() > 0 {
+	// A recovered store already holds its corpus; seeding on top would
+	// duplicate rows on every restart.
+	if tab != nil && tab.NumRows() > 0 && st.Rows() == 0 {
 		res, err := st.AppendTable(tab)
 		if err != nil {
 			log.Fatal(err)
@@ -259,5 +307,5 @@ func buildLive(ctx context.Context, tab *table.Table, hier *geo.Hierarchy, opts 
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "live mode: %d shards, refresh interval %v\n", shards, refreshInterval)
-	return srv
+	return srv, st.Close
 }

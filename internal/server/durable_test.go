@@ -1,0 +1,151 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"indice/internal/core"
+	"indice/internal/epc"
+	"indice/internal/store"
+	"indice/internal/synth"
+)
+
+// durableWorld builds a live server over a durable store on dir.
+func durableWorld(t *testing.T, dir string, city *synth.City) (*httptest.Server, *store.Store) {
+	t.Helper()
+	scfg := store.DefaultConfig()
+	scfg.Shards = 2
+	st, err := store.Open(scfg, store.Durability{Dir: dir, MaxWALBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acfg := core.DefaultAnalysisConfig()
+	acfg.KMax = 4
+	live, err := core.NewLive(st, city.Hierarchy, core.LiveConfig{Analysis: acfg, MinRows: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewLive(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	return ts, st
+}
+
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestServerDurableRestart drives the HTTP surface across a simulated
+// crash: ingest over /api/ingest, publish, record /api/query and the
+// store shape, kill the process-equivalent (no checkpoint, no graceful
+// close), reboot over the same directory and require the recovered
+// /api/query response bitwise-identical and the store shape unchanged.
+func TestServerDurableRestart(t *testing.T) {
+	ccfg := synth.DefaultCityConfig()
+	ccfg.Streets, ccfg.CivicsPerStreet = 40, 10
+	city, err := synth.GenerateCity(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcfg := synth.DefaultConfig()
+	gcfg.Certificates = 600
+	ds, err := synth.Generate(gcfg, city)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ts, st := durableWorld(t, dir, city)
+
+	// The durability block is live from the start.
+	code, body := getBody(t, ts.URL+"/api/store")
+	if code != http.StatusOK {
+		t.Fatalf("/api/store = %d: %s", code, body)
+	}
+	var sr struct {
+		Durability *store.DurabilityStatus `json:"durability"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Durability == nil || !sr.Durability.Enabled || sr.Durability.Fsync != "always" {
+		t.Fatalf("durability block = %+v", sr.Durability)
+	}
+
+	// Ingest the corpus over HTTP, publish, checkpoint part of it so the
+	// restart exercises both checkpoint adoption and WAL replay.
+	chunks := csvChunks(t, ds.Table, 200)
+	for i, chunk := range chunks {
+		if code, body := post(t, ts.URL+"/api/ingest", "text/csv", chunk); code != http.StatusOK {
+			t.Fatalf("ingest chunk %d = %d: %s", i, code, body)
+		}
+		if i == 0 {
+			if code, body := post(t, ts.URL+"/api/checkpoint", "application/json", nil); code != http.StatusOK {
+				t.Fatalf("/api/checkpoint = %d: %s", code, body)
+			}
+		}
+	}
+	if code, body := post(t, ts.URL+"/api/refresh", "application/json", nil); code != http.StatusOK {
+		t.Fatalf("/api/refresh = %d: %s", code, body)
+	}
+	queryURL := "/api/query?attrs=" + epc.AttrEPH + "&limit=5&by=" + epc.AttrDistrict
+	code, wantQuery := getBody(t, ts.URL+queryURL)
+	if code != http.StatusOK {
+		t.Fatalf("/api/query = %d: %s", code, wantQuery)
+	}
+	wantStatus := st.Status()
+
+	// Kill: drop the server without checkpointing or closing the store.
+	// Everything acked over HTTP must survive on disk alone.
+	ts.Close()
+
+	ts2, st2 := durableWorld(t, dir, city)
+	defer ts2.Close()
+	defer st2.Close()
+	rec := st2.RecoveryInfo()
+	if rec.CheckpointRows == 0 || rec.ReplayedRows == 0 {
+		t.Fatalf("restart recovered nothing: %+v", rec)
+	}
+	gotStatus := st2.Status()
+	if gotStatus.Rows != wantStatus.Rows || gotStatus.Generation != wantStatus.Generation ||
+		gotStatus.Accepted != wantStatus.Accepted || gotStatus.Rejected != wantStatus.Rejected {
+		t.Fatalf("restarted store shape = %+v, want %+v", gotStatus, wantStatus)
+	}
+	for i := range wantStatus.Shards {
+		if gotStatus.Shards[i].Rows != wantStatus.Shards[i].Rows {
+			t.Fatalf("shard %d rows = %d, want %d", i, gotStatus.Shards[i].Rows, wantStatus.Shards[i].Rows)
+		}
+	}
+	if code, body := post(t, ts2.URL+"/api/refresh", "application/json", nil); code != http.StatusOK {
+		t.Fatalf("post-restart /api/refresh = %d: %s", code, body)
+	}
+	code, gotQuery := getBody(t, ts2.URL+queryURL)
+	if code != http.StatusOK {
+		t.Fatalf("post-restart /api/query = %d: %s", code, gotQuery)
+	}
+	if string(gotQuery) != string(wantQuery) {
+		t.Fatalf("post-restart query differs:\npre:  %s\npost: %s", wantQuery, gotQuery)
+	}
+}
+
+// TestCheckpointEndpointRequiresDataDir pins the 409 for in-memory mode.
+func TestCheckpointEndpointRequiresDataDir(t *testing.T) {
+	ts, _, _ := liveServer(t, 200)
+	if code, body := post(t, ts.URL+"/api/checkpoint", "application/json", nil); code != http.StatusConflict {
+		t.Fatalf("/api/checkpoint on in-memory store = %d: %s", code, body)
+	}
+}

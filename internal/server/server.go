@@ -92,6 +92,7 @@ func (s *Server) routes() {
 	s.handle("/api/store", maxSmallBody, s.handleStore, http.MethodGet)
 	s.handle("/api/ingest", maxIngestBody, s.handleIngest, http.MethodPost)
 	s.handle("/api/refresh", maxSmallBody, s.handleRefresh, http.MethodPost)
+	s.handle("/api/checkpoint", maxSmallBody, s.handleCheckpoint, http.MethodPost)
 }
 
 // handle registers a route enforcing the allowed request methods (HEAD
@@ -564,6 +565,9 @@ type storeResponse struct {
 	LiveStats  *liveStatsInfo `json:"live_stats,omitempty"`
 	LiveCounts map[string]int `json:"live_counts,omitempty"`
 	QueryCache *cacheInfo     `json:"query_cache,omitempty"`
+	// Durability reports the persistence layer (WAL position, checkpoint
+	// history, segment residency) when the store runs on a data directory.
+	Durability *store.DurabilityStatus `json:"durability,omitempty"`
 }
 
 // cacheInfo summarizes the /api/query result cache.
@@ -638,6 +642,9 @@ func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
 		hits, misses, size := s.cache.stats()
 		resp.QueryCache = &cacheInfo{Hits: hits, Misses: misses, Size: size}
 	}
+	if ds := st.DurabilityStatus(); ds.Enabled {
+		resp.Durability = &ds
+	}
 	if pub := s.live.Current(); pub != nil {
 		resp.Published = &publishedInfo{
 			Epoch:       pub.Epoch,
@@ -684,6 +691,26 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 		ServingRows: pub.Engine.Table().NumRows(),
 		TookSeconds: pub.Took.Seconds(),
 	})
+}
+
+// handleCheckpoint forces a checkpoint of the durable store: tails are
+// sealed and persisted, the manifest commits and the covered WAL files
+// are pruned. 409 for in-memory stores (no -data-dir).
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.live == nil {
+		http.Error(w, "checkpoint requires live mode", http.StatusNotFound)
+		return
+	}
+	if !s.live.Store().DurabilityStatus().Enabled {
+		http.Error(w, "store has no data directory (start with -data-dir)", http.StatusConflict)
+		return
+	}
+	res, err := s.live.Store().Checkpoint()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, res)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

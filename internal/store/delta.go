@@ -38,7 +38,9 @@ func (d *Delta) Tables() []*table.Table { return d.tables }
 // baseline at the given earlier epoch. The second return value is false
 // when the baseline is unknown — the epoch was never snapshotted, it has
 // aged out of the bounded history, or it lies at or beyond this snapshot —
-// in which case the consumer must rebuild from scratch.
+// in which case the consumer must rebuild from scratch. Fully reused
+// segments are never loaded, so a delta over a mostly-cold durable store
+// touches disk only for segments actually carrying new rows.
 func (sn *Snapshot) DeltaSince(epoch uint64) (*Delta, bool) {
 	if epoch >= sn.epoch {
 		return nil, false
@@ -64,16 +66,24 @@ func (sn *Snapshot) DeltaSince(epoch uint64) (*Delta, bool) {
 		d.BaseRows += prefix
 		d.NewRows += sn.shardRows[i] - prefix
 		off := 0
-		for _, seg := range segs {
-			n := seg.NumRows()
+		for _, sg := range segs {
+			n := sg.numRows()
 			switch {
 			case off+n <= prefix:
 				d.ReusedSegments++
 			case off >= prefix:
+				tab, err := sg.open(sn.ld)
+				if err != nil {
+					return nil, false
+				}
 				d.SharedSegments++
-				d.tables = append(d.tables, seg)
+				d.tables = append(d.tables, tab)
 			default:
-				part, err := seg.Slice(prefix-off, n)
+				tab, err := sg.open(sn.ld)
+				if err != nil {
+					return nil, false
+				}
+				part, err := tab.Slice(prefix-off, n)
 				if err != nil {
 					// Slice bounds derive from the counts just checked.
 					panic("store: delta slice: " + err.Error())

@@ -52,7 +52,11 @@ func snapIDs(t *testing.T, sn *Snapshot) map[string]int {
 	t.Helper()
 	out := make(map[string]int)
 	for i := 0; i < sn.NumShards(); i++ {
-		for _, seg := range sn.ShardSegments(i) {
+		segs, err := sn.ShardSegments(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seg := range segs {
 			ids, err := seg.Strings(epc.AttrCertificateID)
 			if err != nil {
 				t.Fatal(err)

@@ -1,0 +1,117 @@
+package store
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the narrow filesystem surface the durability layer writes through.
+// Production uses osFS; the fault-injection test harness substitutes
+// faultfs.FS to crash the store at any individual filesystem operation
+// (see internal/store/faultfs). Paths are slash-joined relative to the
+// store's data directory by the caller.
+type FS interface {
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string) error
+	// Create opens a file for writing, truncating it if it exists.
+	Create(name string) (File, error)
+	// OpenAppend opens a file for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Open opens a file for reading.
+	Open(name string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadDir lists the file names in a directory, sorted. A missing
+	// directory returns an empty list, not an error.
+	ReadDir(name string) ([]string, error)
+	// SyncDir fsyncs a directory, making renames and removals in it
+	// durable.
+	SyncDir(name string) error
+	// Size returns the byte size of a file.
+	Size(name string) (int64, error)
+}
+
+// File is the per-file surface of FS.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's written data to stable storage.
+	Sync() error
+}
+
+// OSFS is the production FS over the real filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+// Open implements FS.
+func (OSFS) Open(name string) (File, error) { return os.Open(name) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(name string) ([]string, error) {
+	ents, err := os.ReadDir(name)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	out := make([]string, 0, len(ents))
+	for _, e := range ents {
+		out = append(out, e.Name())
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Size implements FS.
+func (OSFS) Size(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// join composes data-directory paths with platform separators.
+func join(elem ...string) string { return filepath.Join(elem...) }
+
+// isNotExist reports whether an FS error means "file absent" (faultfs
+// passes the underlying os error through).
+func isNotExist(err error) bool {
+	return os.IsNotExist(err) || err == fs.ErrNotExist
+}

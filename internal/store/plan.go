@@ -189,8 +189,8 @@ func (sn *Snapshot) indexed(attr string) bool {
 func (sn *Snapshot) queryShard(i int, p query.Predicate, pushIn []query.In, pushRange []query.NumRange) shardResult {
 	segs := sn.segs[i]
 	rows := 0
-	for _, seg := range segs {
-		rows += seg.NumRows()
+	for _, sg := range segs {
+		rows += sg.numRows()
 	}
 	empty := func(pruned bool) shardResult {
 		tab, err := table.NewWithSchema(sn.schema)
@@ -247,7 +247,11 @@ func (sn *Snapshot) queryShard(i int, p query.Predicate, pushIn []query.In, push
 		if err != nil {
 			return shardResult{err: err}
 		}
-		for _, seg := range segs {
+		for _, sg := range segs {
+			seg, err := sg.open(sn.ld)
+			if err != nil {
+				return shardResult{err: err}
+			}
 			mask, err := ev.Mask(seg)
 			if err != nil {
 				return shardResult{err: err}
@@ -275,13 +279,20 @@ func (sn *Snapshot) queryShard(i int, p query.Predicate, pushIn []query.In, push
 	}
 	base := 0
 	k := 0
-	for _, seg := range segs {
-		n := seg.NumRows()
+	for _, sg := range segs {
+		n := sg.numRows()
 		lo := k
 		for k < len(cand) && cand[k] < base+n {
 			k++
 		}
 		if k > lo {
+			// Only segments actually holding candidates are loaded — an
+			// indexed query over a mostly-cold store touches disk just for
+			// the segments its postings point into.
+			seg, err := sg.open(sn.ld)
+			if err != nil {
+				return shardResult{err: err}
+			}
 			local := make([]int, k-lo)
 			for j := lo; j < k; j++ {
 				local[j-lo] = cand[j] - base

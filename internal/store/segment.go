@@ -1,0 +1,159 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"indice/internal/table"
+)
+
+// segment is one immutable sealed chunk of a shard. Its row content never
+// changes after sealing, but its residency does: once a checkpoint has
+// persisted the segment to disk (path != ""), the in-memory table may be
+// evicted and lazily reloaded on demand, so the corpus can exceed RAM.
+// Snapshots share segment pointers with the store; a reader holding a
+// loaded *table.Table keeps using it safely after an eviction (the table
+// itself is immutable — eviction only drops the cache reference).
+type segment struct {
+	rows int
+	path string // on-disk file (relative to the data dir), "" while hot-only
+
+	mu  sync.Mutex
+	tab *table.Table // nil while evicted
+
+	lastUse atomic.Int64 // loader clock at last access
+}
+
+// numRows returns the segment's row count without loading it.
+func (sg *segment) numRows() int { return sg.rows }
+
+// resident reports whether the segment's table is in memory.
+func (sg *segment) resident() bool {
+	sg.mu.Lock()
+	defer sg.mu.Unlock()
+	return sg.tab != nil
+}
+
+// open returns the segment's table, reading it back from disk when
+// evicted. ld may be nil for stores without a persistence layer (then the
+// table is always resident).
+func (sg *segment) open(ld *segLoader) (*table.Table, error) {
+	sg.mu.Lock()
+	defer sg.mu.Unlock()
+	if ld != nil {
+		sg.lastUse.Store(ld.clock.Add(1))
+	}
+	if sg.tab != nil {
+		return sg.tab, nil
+	}
+	if ld == nil || sg.path == "" {
+		return nil, fmt.Errorf("store: segment evicted with no backing file")
+	}
+	f, err := ld.fs.Open(join(ld.dir, sg.path))
+	if err != nil {
+		return nil, fmt.Errorf("store: reloading segment %s: %w", sg.path, err)
+	}
+	tab, rerr := table.ReadBinary(f)
+	cerr := f.Close()
+	if rerr != nil {
+		return nil, fmt.Errorf("store: reloading segment %s: %w", sg.path, rerr)
+	}
+	if cerr != nil {
+		return nil, fmt.Errorf("store: reloading segment %s: %w", sg.path, cerr)
+	}
+	if tab.NumRows() != sg.rows {
+		return nil, fmt.Errorf("store: segment %s has %d rows on disk, expected %d", sg.path, tab.NumRows(), sg.rows)
+	}
+	sg.tab = tab
+	ld.residentRows.Add(int64(sg.rows))
+	ld.loads.Add(1)
+	ld.requestSweep()
+	return tab, nil
+}
+
+// segLoader is the shared residency manager of a durable store: it reads
+// evicted segments back from disk and keeps the total resident rows of
+// evictable (persisted) segments under the configured budget with an
+// LRU-ish sweep. Snapshots hold a reference so queries over old snapshots
+// keep working while the store evicts and reloads underneath.
+type segLoader struct {
+	fs     FS
+	dir    string
+	budget int // resident-row budget over evictable segments; 0 = unlimited
+
+	clock        atomic.Int64
+	residentRows atomic.Int64 // rows of persisted segments currently in memory
+	loads        atomic.Uint64
+	evictions    atomic.Uint64
+
+	mu       sync.Mutex
+	sweeping bool
+	segs     []*segment // every persisted (evictable) segment, registration order
+}
+
+func newSegLoader(fs FS, dir string, budget int) *segLoader {
+	return &segLoader{fs: fs, dir: dir, budget: budget}
+}
+
+// register adds a freshly persisted segment to the evictable set. The
+// segment is resident at registration (it was just written or indexed).
+func (ld *segLoader) register(sg *segment) {
+	sg.lastUse.Store(ld.clock.Add(1))
+	ld.residentRows.Add(int64(sg.rows))
+	ld.mu.Lock()
+	ld.segs = append(ld.segs, sg)
+	ld.mu.Unlock()
+}
+
+// requestSweep evicts least-recently-used persisted segments until the
+// resident rows fit the budget. No-op without a budget. Runs inline — the
+// caller just loaded or registered a segment, so the marginal latency is
+// bounded by the (small) evictable set.
+func (ld *segLoader) requestSweep() {
+	if ld.budget <= 0 || int(ld.residentRows.Load()) <= ld.budget {
+		return
+	}
+	ld.mu.Lock()
+	if ld.sweeping {
+		ld.mu.Unlock()
+		return
+	}
+	ld.sweeping = true
+	cands := make([]*segment, len(ld.segs))
+	copy(cands, ld.segs)
+	ld.mu.Unlock()
+	defer func() {
+		ld.mu.Lock()
+		ld.sweeping = false
+		ld.mu.Unlock()
+	}()
+
+	sort.Slice(cands, func(i, j int) bool {
+		return cands[i].lastUse.Load() < cands[j].lastUse.Load()
+	})
+	newest := ld.clock.Load()
+	for _, sg := range cands {
+		if int(ld.residentRows.Load()) <= ld.budget {
+			return
+		}
+		// Keep the most recently touched segment resident: evicting the
+		// block a scan is actively walking would thrash.
+		if sg.lastUse.Load() == newest {
+			continue
+		}
+		sg.mu.Lock()
+		if sg.tab != nil {
+			sg.tab = nil
+			ld.residentRows.Add(-int64(sg.rows))
+			ld.evictions.Add(1)
+		}
+		sg.mu.Unlock()
+	}
+}
+
+// stats reports the loader counters for status endpoints.
+func (ld *segLoader) stats() (residentRows int64, loads, evictions uint64) {
+	return ld.residentRows.Load(), ld.loads.Load(), ld.evictions.Load()
+}

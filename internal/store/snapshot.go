@@ -19,8 +19,11 @@ type Snapshot struct {
 	generation uint64
 	rows       int
 	schema     []table.Field
-	// segs[i] lists shard i's sealed segments at snapshot time.
-	segs [][]*table.Table
+	// segs[i] lists shard i's sealed segments at snapshot time. Segments
+	// are shared with the store; persisted ones may be evicted from memory
+	// and are transparently reloaded through ld on access.
+	segs [][]*segment
+	ld   *segLoader
 	// shardRows[i] is shard i's total row count at snapshot time; history
 	// carries the same counts for recent earlier epochs so DeltaSince can
 	// locate a baseline without reaching back into the store.
@@ -55,7 +58,8 @@ func (s *Store) Snapshot() *Snapshot {
 		epoch:      s.epoch.Add(1),
 		generation: s.generation.Load(),
 		schema:     s.schema,
-		segs:       make([][]*table.Table, len(s.shards)),
+		segs:       make([][]*segment, len(s.shards)),
+		ld:         s.ld,
 		shardRows:  make([]int, len(s.shards)),
 		index:      make([]map[string]map[string][]int, len(s.shards)),
 		stats:      make(map[string]stats.Running, len(s.cfg.StatsAttrs)),
@@ -63,12 +67,12 @@ func (s *Store) Snapshot() *Snapshot {
 	}
 	for i, sh := range s.shards {
 		sh.mu.Lock()
-		segs := make([]*table.Table, 0, len(sh.sealed)+1)
-		for _, seg := range sh.sealed {
-			segs = append(segs, seg.tab)
-		}
-		if sh.tail.NumRows() > 0 {
-			segs = append(segs, sh.tail.Clone())
+		segs := make([]*segment, 0, len(sh.sealed)+1)
+		segs = append(segs, sh.sealed...)
+		if n := sh.tail.NumRows(); n > 0 {
+			// The tail copy is snapshot-private and never persisted, so it
+			// stays resident for the snapshot's whole life.
+			segs = append(segs, &segment{rows: n, tab: sh.tail.Clone()})
 		}
 		snap.segs[i] = segs
 		snap.shardRows[i] = sh.rows
@@ -139,9 +143,20 @@ func (sn *Snapshot) NumShards() int { return len(sn.segs) }
 // Schema returns the column layout (shared slice; do not modify).
 func (sn *Snapshot) Schema() []table.Field { return sn.schema }
 
-// ShardSegments returns shard i's immutable segments. Readers may iterate
-// them freely; they are shared with the store and other snapshots.
-func (sn *Snapshot) ShardSegments(i int) []*table.Table { return sn.segs[i] }
+// ShardSegments returns shard i's immutable segment tables, reloading
+// any evicted segment from disk. Readers may iterate them freely; they
+// are shared with the store and other snapshots.
+func (sn *Snapshot) ShardSegments(i int) ([]*table.Table, error) {
+	out := make([]*table.Table, len(sn.segs[i]))
+	for j, sg := range sn.segs[i] {
+		tab, err := sg.open(sn.ld)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = tab
+	}
+	return out, nil
+}
 
 // Stats returns the merged summary statistics of a tracked numeric
 // attribute. The second return value is false for untracked attributes.
@@ -181,8 +196,13 @@ func (sn *Snapshot) Table() (*table.Table, error) {
 			return
 		}
 		for _, segs := range sn.segs {
-			for _, seg := range segs {
-				if err := out.AppendTable(seg); err != nil {
+			for _, sg := range segs {
+				tab, err := sg.open(sn.ld)
+				if err != nil {
+					sn.matErr = err
+					return
+				}
+				if err := out.AppendTable(tab); err != nil {
 					sn.matErr = err
 					return
 				}

@@ -77,11 +77,6 @@ func DefaultConfig() Config {
 	}
 }
 
-// segment is one immutable sealed chunk of a shard.
-type segment struct {
-	tab *table.Table
-}
-
 // shard holds one hash partition of the store.
 type shard struct {
 	mu     sync.Mutex
@@ -129,6 +124,23 @@ type Store struct {
 	// projection table and its cell buffer), so a high-rate record ingest
 	// endpoint allocates per batch only what the shards must keep.
 	recPool sync.Pool
+
+	// Durability layer (nil fields for a purely in-memory store). The WAL
+	// writer serializes batch logging with shard application; the loader
+	// manages cold-segment eviction and reload; ckptMu single-flights
+	// checkpoints.
+	dur      Durability
+	fs       FS
+	wal      *walWriter
+	ld       *segLoader
+	ckptMu   sync.Mutex
+	ckptBusy atomic.Bool
+	segID    atomic.Uint64 // segment file id counter (persisted via manifest)
+
+	checkpoints  atomic.Uint64
+	lastCkptSeq  atomic.Uint64
+	lastCkptUnix atomic.Int64
+	recovery     RecoveryInfo
 }
 
 // recScratch is the pooled per-batch scratch of the record ingest path.
@@ -331,8 +343,12 @@ func (s *Store) AppendTable(t *table.Table) (IngestResult, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 
+	// Route the batch to its shards up front: the routed form is both
+	// what the shards apply and what the WAL logs (replay then reproduces
+	// the exact per-shard row order without re-running the routing).
+	var routed []walPart
 	if len(s.shards) == 1 {
-		s.shards[0].append(t, &s.cfg)
+		routed = append(routed, walPart{shard: 0, tab: t})
 	} else {
 		parts, err := t.Partition(len(s.shards), func(row int) int {
 			if keys == nil {
@@ -345,9 +361,25 @@ func (s *Store) AppendTable(t *table.Table) (IngestResult, error) {
 		}
 		for i, part := range parts {
 			if part.NumRows() > 0 {
-				s.shards[i].append(part, &s.cfg)
+				routed = append(routed, walPart{shard: i, tab: part})
 			}
 		}
+	}
+	apply := func() error {
+		for _, p := range routed {
+			s.shards[p.shard].append(p.tab, &s.cfg)
+		}
+		return nil
+	}
+	if s.wal != nil {
+		// Durable path: the batch hits the log (fsync-gated per policy)
+		// before any row becomes visible; a failed log write acks nothing
+		// and applies nothing.
+		if _, err := s.wal.append(routed, apply); err != nil {
+			return res, err
+		}
+	} else if err := apply(); err != nil {
+		return res, err
 	}
 	res.Accepted = t.NumRows()
 	s.accepted.Add(uint64(res.Accepted))
@@ -355,7 +387,31 @@ func (s *Store) AppendTable(t *table.Table) (IngestResult, error) {
 	if res.Accepted > 0 {
 		s.generation.Add(1)
 	}
+	s.maybeAutoCheckpoint()
 	return res, nil
+}
+
+// maybeAutoCheckpoint starts a background checkpoint when the WAL has
+// outgrown the configured bound. Single-flight; errors surface via the
+// next explicit Checkpoint call or the durability status.
+func (s *Store) maybeAutoCheckpoint() {
+	if s.wal == nil || s.dur.MaxWALBytes < 0 {
+		return
+	}
+	limit := s.dur.MaxWALBytes
+	if limit == 0 {
+		limit = defaultMaxWALBytes
+	}
+	if _, bytes := s.wal.lastSeqBytes(); bytes < limit {
+		return
+	}
+	if !s.ckptBusy.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.ckptBusy.Store(false)
+		_, _ = s.Checkpoint()
+	}()
 }
 
 // conform projects a batch whose columns match the store schema by name
@@ -453,12 +509,46 @@ func (sh *shard) seal(cfg *Config) {
 	if sh.tail.NumRows() == 0 {
 		return
 	}
-	sh.sealed = append(sh.sealed, &segment{tab: sh.tail})
+	sh.sealed = append(sh.sealed, &segment{rows: sh.tail.NumRows(), tab: sh.tail})
 	tail, err := table.NewWithSchema(cfg.Schema)
 	if err != nil {
 		panic(fmt.Sprintf("store: reseal: %v", err))
 	}
 	sh.tail = tail
+}
+
+// adopt installs an already-sealed segment (a checkpointed table loaded at
+// recovery) at the end of the shard, updating indexes and statistics from
+// its rows. Caller holds the store lock during recovery; shard locking is
+// still taken for uniformity.
+func (sh *shard) adopt(tab *table.Table, path string, cfg *Config) *segment {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	base := sh.rows
+	for _, attr := range cfg.IndexAttrs {
+		vals, _ := tab.Strings(attr)
+		valid, _ := tab.ValidMask(attr)
+		byVal := sh.index[attr]
+		for i, v := range vals {
+			if valid[i] && v != "" {
+				byVal[v] = append(byVal[v], base+i)
+			}
+		}
+	}
+	for _, attr := range cfg.StatsAttrs {
+		vals, _ := tab.Floats(attr)
+		valid, _ := tab.ValidMask(attr)
+		acc := sh.stats[attr]
+		for i, v := range vals {
+			if valid[i] {
+				acc.Add(v)
+			}
+		}
+	}
+	sg := &segment{rows: tab.NumRows(), tab: tab, path: path}
+	sh.sealed = append(sh.sealed, sg)
+	sh.rows += tab.NumRows()
+	return sg
 }
 
 // Status summarizes the store for operational endpoints.

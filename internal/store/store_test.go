@@ -113,7 +113,11 @@ func TestAppendAndSnapshot(t *testing.T) {
 	// Every row landed in exactly one shard, routed deterministically.
 	total := 0
 	for i := 0; i < snap.NumShards(); i++ {
-		for _, seg := range snap.ShardSegments(i) {
+		segs, err := snap.ShardSegments(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seg := range segs {
 			total += seg.NumRows()
 		}
 	}
@@ -482,7 +486,12 @@ func TestConcurrentIngestReadConsistency(t *testing.T) {
 
 				segRows := 0
 				for i := 0; i < snap.NumShards(); i++ {
-					for _, seg := range snap.ShardSegments(i) {
+					segs, err := snap.ShardSegments(i)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for _, seg := range segs {
 						segRows += seg.NumRows()
 					}
 				}

@@ -1,0 +1,377 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+	"time"
+
+	"indice/internal/table"
+)
+
+// Write-ahead log. Every acked ingest batch is appended to the log before
+// its rows become visible to snapshots, so a crash at any point loses no
+// batch whose append call returned success. The log is a sequence of
+// CRC-framed records:
+//
+//	u32 payloadLen | u32 crc32(IEEE, payload) | payload
+//
+// payload:
+//
+//	u8 kind (1 = batch) | u64 seq | u16 nparts
+//	per part: u32 shard | u32 tableLen | table.WriteBinary bytes
+//
+// All integers little endian. The payload carries the batch in its
+// post-routing form — the accepted rows already partitioned to shards —
+// so replay reproduces the exact per-shard row order of the original
+// ingest without re-running the (non-deterministic for keyless rows)
+// routing. seq increases by one per record across the log's whole life;
+// log files are named wal-<firstSeq>.log and rotated at checkpoints.
+//
+// Recovery scans frames until the first invalid one (short frame, CRC
+// mismatch, implausible length, undecodable table): everything before it
+// is applied, everything from it on is a torn tail of an unacked batch
+// and is discarded. A frame that was fsynced before its ingest call
+// returned can never be the torn one.
+
+const (
+	walKindBatch = 1
+
+	// maxWALPayload bounds the length a frame may claim, so a corrupt
+	// header cannot trigger a multi-gigabyte allocation. Ingest bodies are
+	// capped well below this.
+	maxWALPayload = 256 << 20
+	// maxWALParts bounds the per-record part count (one part per shard).
+	maxWALParts = 1 << 12
+)
+
+// FsyncMode selects when the WAL is flushed to stable storage.
+type FsyncMode int
+
+const (
+	// FsyncAlways syncs the log before every ingest ack — full
+	// power-loss durability, one fsync per batch.
+	FsyncAlways FsyncMode = iota
+	// FsyncInterval syncs at most once per SyncInterval; a power loss may
+	// drop the last interval's batches (a process crash loses nothing —
+	// the data is in the page cache).
+	FsyncInterval
+	// FsyncOff never syncs explicitly; durability against power loss is
+	// up to the OS writeback. Process crashes still lose nothing.
+	FsyncOff
+)
+
+// ParseFsyncMode parses the -fsync flag values.
+func ParseFsyncMode(s string) (FsyncMode, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "off", "never":
+		return FsyncOff, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync mode %q (want always, interval or off)", s)
+}
+
+// String implements fmt.Stringer.
+func (m FsyncMode) String() string {
+	switch m {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("FsyncMode(%d)", int(m))
+}
+
+// walPart is one shard's slice of a batch.
+type walPart struct {
+	shard int
+	tab   *table.Table
+}
+
+// walRecord is one decoded log record.
+type walRecord struct {
+	seq   uint64
+	parts []walPart
+}
+
+// walWriter appends records to the current log file. It serializes both
+// the file write and the caller's shard application (the caller holds mu
+// across append-then-apply), so per-shard row order always matches seq
+// order — the property replay relies on.
+type walWriter struct {
+	fs  FS
+	dir string
+
+	mode     FsyncMode
+	interval time.Duration
+
+	mu       sync.Mutex
+	f        File
+	name     string
+	seq      uint64 // last assigned seq
+	bytes    int64  // bytes in the current file
+	lastSync time.Time
+	buf      []byte // encode scratch, reused across appends
+}
+
+// walFileName names the log file whose first record is seq.
+func walFileName(firstSeq uint64) string {
+	return fmt.Sprintf("wal-%016x.log", firstSeq)
+}
+
+// parseWALFileName extracts the first seq from a log file name.
+func parseWALFileName(name string) (uint64, bool) {
+	var seq uint64
+	if n, err := fmt.Sscanf(name, "wal-%016x.log", &seq); err != nil || n != 1 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// newWALWriter positions a writer after lastSeq. The file for the next
+// record is created lazily on first append.
+func newWALWriter(fs FS, dir string, mode FsyncMode, interval time.Duration, lastSeq uint64) *walWriter {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	return &walWriter{fs: fs, dir: dir, mode: mode, interval: interval, seq: lastSeq}
+}
+
+// append encodes the parts as the next record, writes and (per policy)
+// syncs it, then runs apply while still holding the writer lock — the
+// record is on the log before any of its rows are visible, and shard
+// application happens in seq order. On a write error the record is not
+// acked and apply does not run.
+func (w *walWriter) append(parts []walPart, apply func() error) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	seq := w.seq + 1
+	payload, err := encodeWALRecord(w.buf[:0], seq, parts)
+	if err != nil {
+		return 0, err
+	}
+	w.buf = payload[:0]
+	if w.f == nil {
+		name := join(w.dir, walFileName(seq))
+		f, err := w.fs.OpenAppend(name)
+		if err != nil {
+			return 0, fmt.Errorf("store: wal: %w", err)
+		}
+		w.f, w.name, w.bytes = f, name, 0
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("store: wal write: %w", err)
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return 0, fmt.Errorf("store: wal write: %w", err)
+	}
+	switch w.mode {
+	case FsyncAlways:
+		if err := w.f.Sync(); err != nil {
+			return 0, fmt.Errorf("store: wal sync: %w", err)
+		}
+	case FsyncInterval:
+		if now := time.Now(); now.Sub(w.lastSync) >= w.interval {
+			if err := w.f.Sync(); err != nil {
+				return 0, fmt.Errorf("store: wal sync: %w", err)
+			}
+			w.lastSync = now
+		}
+	}
+	w.seq = seq
+	w.bytes += int64(len(hdr) + len(payload))
+	if err := apply(); err != nil {
+		// The record is on the log but the in-memory apply failed — the
+		// store is now behind its own log. Apply never fails for schema
+		// reasons (verified upstream); surface loudly.
+		return 0, fmt.Errorf("store: wal apply: %w", err)
+	}
+	return seq, nil
+}
+
+// rotate closes the current file so the next record starts a fresh
+// wal-<seq+1>.log. Called at checkpoints (with no concurrent appends in
+// flight for the rotation to race, as checkpoint holds the store lock).
+func (w *walWriter) rotate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	if w.mode != FsyncOff {
+		if err := w.f.Sync(); err != nil {
+			w.f.Close()
+			w.f = nil
+			return fmt.Errorf("store: wal rotate: %w", err)
+		}
+	}
+	err := w.f.Close()
+	w.f, w.name, w.bytes = nil, "", 0
+	if err != nil {
+		return fmt.Errorf("store: wal rotate: %w", err)
+	}
+	return nil
+}
+
+// sync forces an fsync of the current file (used by FsyncInterval's
+// background flusher).
+func (w *walWriter) sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.lastSync = time.Now()
+	return nil
+}
+
+// close releases the current file handle.
+func (w *walWriter) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// lastSeqBytes reports the writer position (last acked seq, bytes in the
+// current file) for status endpoints.
+func (w *walWriter) lastSeqBytes() (uint64, int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq, w.bytes
+}
+
+// encodeWALRecord appends the record payload for (seq, parts) to dst.
+func encodeWALRecord(dst []byte, seq uint64, parts []walPart) ([]byte, error) {
+	if len(parts) > maxWALParts {
+		return nil, fmt.Errorf("store: wal record with %d parts", len(parts))
+	}
+	dst = append(dst, walKindBatch)
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(parts)))
+	var tb bytes.Buffer
+	for _, p := range parts {
+		tb.Reset()
+		if err := p.tab.WriteBinary(&tb); err != nil {
+			return nil, fmt.Errorf("store: wal encode: %w", err)
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(p.shard))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(tb.Len()))
+		dst = append(dst, tb.Bytes()...)
+	}
+	if len(dst) > maxWALPayload {
+		return nil, fmt.Errorf("store: wal record of %d bytes exceeds the frame bound", len(dst))
+	}
+	return dst, nil
+}
+
+// decodeWALPayload parses one record payload.
+func decodeWALPayload(p []byte) (*walRecord, error) {
+	if len(p) < 1+8+2 {
+		return nil, fmt.Errorf("store: wal payload of %d bytes", len(p))
+	}
+	if p[0] != walKindBatch {
+		return nil, fmt.Errorf("store: unknown wal record kind %d", p[0])
+	}
+	rec := &walRecord{seq: binary.LittleEndian.Uint64(p[1:9])}
+	nparts := int(binary.LittleEndian.Uint16(p[9:11]))
+	if nparts > maxWALParts {
+		return nil, fmt.Errorf("store: wal record with %d parts", nparts)
+	}
+	off := 11
+	for i := 0; i < nparts; i++ {
+		if len(p)-off < 8 {
+			return nil, fmt.Errorf("store: truncated wal part header")
+		}
+		shard := binary.LittleEndian.Uint32(p[off : off+4])
+		tlen := int(binary.LittleEndian.Uint32(p[off+4 : off+8]))
+		off += 8
+		if tlen < 0 || len(p)-off < tlen {
+			return nil, fmt.Errorf("store: wal part length %d exceeds payload", tlen)
+		}
+		tab, err := table.ReadBinary(bytes.NewReader(p[off : off+tlen]))
+		if err != nil {
+			return nil, fmt.Errorf("store: wal part table: %w", err)
+		}
+		off += tlen
+		rec.parts = append(rec.parts, walPart{shard: int(shard), tab: tab})
+	}
+	if off != len(p) {
+		return nil, fmt.Errorf("store: %d trailing bytes in wal payload", len(p)-off)
+	}
+	return rec, nil
+}
+
+// scanWAL reads records from one log stream, calling fn for each valid
+// record in order. Scanning stops cleanly at the first invalid frame —
+// a truncated header, an implausible length, a CRC mismatch, or an
+// undecodable payload — which is the torn tail of a crashed append, not
+// an error. The return values report the last valid seq seen (0 when
+// none), whether the stream ended exactly on a frame boundary, and any
+// error from fn or the underlying reader's non-EOF failures.
+func scanWAL(r io.Reader, fn func(rec *walRecord) error) (lastSeq uint64, clean bool, err error) {
+	var hdr [8]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			// EOF here is the clean end; a partial header is a torn tail.
+			return lastSeq, err == io.EOF, nil
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > maxWALPayload {
+			return lastSeq, false, nil
+		}
+		// Read the payload in bounded chunks so allocation tracks the bytes
+		// actually supplied, not the (possibly corrupt) claimed length.
+		payload = payload[:0]
+		torn := false
+		for remaining := int(n); remaining > 0; {
+			m := remaining
+			if m > 1<<16 {
+				m = 1 << 16
+			}
+			start := len(payload)
+			payload = append(payload, make([]byte, m)...)
+			if _, err := io.ReadFull(r, payload[start:]); err != nil {
+				torn = true
+				break
+			}
+			remaining -= m
+		}
+		if torn {
+			return lastSeq, false, nil
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return lastSeq, false, nil
+		}
+		rec, derr := decodeWALPayload(payload)
+		if derr != nil {
+			return lastSeq, false, nil
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return lastSeq, false, err
+			}
+		}
+		lastSeq = rec.seq
+	}
+}

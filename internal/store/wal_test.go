@@ -1,0 +1,264 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"indice/internal/table"
+)
+
+// encodeFrame wraps a payload in the length+CRC frame, as append does.
+func encodeFrame(t testing.TB, payload []byte) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	if err := writeFrame(&out, payload); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// miniParts builds one routed two-part record over the mini schema.
+func miniParts(t testing.TB, base int) []walPart {
+	t.Helper()
+	return []walPart{
+		{shard: 0, tab: miniBatch(t, base, 3, "w0")},
+		{shard: 1, tab: miniBatch(t, base+100, 2, "w1")},
+	}
+}
+
+// tablesEqualBinary compares two tables via their binary serialization.
+func tablesEqualBinary(t testing.TB, a, b *table.Table) bool {
+	t.Helper()
+	var ab, bb bytes.Buffer
+	if err := a.WriteBinary(&ab); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteBinary(&bb); err != nil {
+		t.Fatal(err)
+	}
+	return bytes.Equal(ab.Bytes(), bb.Bytes())
+}
+
+func TestWALRecordRoundTrip(t *testing.T) {
+	parts := miniParts(t, 0)
+	payload, err := encodeWALRecord(nil, 42, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := decodeWALPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.seq != 42 || len(rec.parts) != 2 {
+		t.Fatalf("decoded seq=%d parts=%d", rec.seq, len(rec.parts))
+	}
+	for i, p := range rec.parts {
+		if p.shard != parts[i].shard {
+			t.Fatalf("part %d shard = %d, want %d", i, p.shard, parts[i].shard)
+		}
+		if !tablesEqualBinary(t, p.tab, parts[i].tab) {
+			t.Fatalf("part %d table differs after round trip", i)
+		}
+	}
+}
+
+func TestScanWALStopsAtTornTail(t *testing.T) {
+	p1, err := encodeWALRecord(nil, 1, miniParts(t, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := encodeWALRecord(nil, 2, miniParts(t, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := encodeFrame(t, p1)
+	f2 := encodeFrame(t, p2)
+	full := append(append([]byte(nil), f1...), f2...)
+
+	cases := []struct {
+		name     string
+		log      []byte
+		wantSeq  uint64
+		wantSeen int
+		clean    bool
+	}{
+		{"empty", nil, 0, 0, true},
+		{"two records", full, 2, 2, true},
+		{"torn payload", full[:len(f1)+len(f2)-3], 1, 1, false},
+		{"torn header", full[:len(f1)+5], 1, 1, false},
+		{"first frame only", f1, 1, 1, true},
+		{"garbage", []byte("not a wal file at all"), 0, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seen := 0
+			last, clean, err := scanWAL(bytes.NewReader(tc.log), func(rec *walRecord) error {
+				seen++
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if last != tc.wantSeq || seen != tc.wantSeen || clean != tc.clean {
+				t.Fatalf("scan = (seq %d, seen %d, clean %v), want (%d, %d, %v)",
+					last, seen, clean, tc.wantSeq, tc.wantSeen, tc.clean)
+			}
+		})
+	}
+}
+
+func TestScanWALRejectsCorruptFrames(t *testing.T) {
+	p1, err := encodeWALRecord(nil, 1, miniParts(t, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := encodeFrame(t, p1)
+
+	// Flipped CRC: record is dropped, scan stops.
+	flipped := append([]byte(nil), good...)
+	flipped[4] ^= 0xff
+	if last, clean, _ := scanWAL(bytes.NewReader(flipped), nil); last != 0 || clean {
+		t.Fatalf("flipped CRC accepted: seq=%d clean=%v", last, clean)
+	}
+
+	// Flipped payload byte: CRC catches it.
+	mangled := append([]byte(nil), good...)
+	mangled[12] ^= 0x01
+	if last, _, _ := scanWAL(bytes.NewReader(mangled), nil); last != 0 {
+		t.Fatalf("mangled payload accepted: seq=%d", last)
+	}
+
+	// Implausible claimed length: rejected without a giant allocation.
+	var huge bytes.Buffer
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(maxWALPayload+1))
+	huge.Write(hdr[:])
+	huge.WriteString("xxxx")
+	if last, clean, _ := scanWAL(&huge, nil); last != 0 || clean {
+		t.Fatal("oversized frame accepted")
+	}
+
+	// Valid CRC over an undecodable payload (unknown record kind): the
+	// decoder rejects it and the scan stops cleanly before it.
+	junk := []byte{99, 1, 2, 3}
+	frame := make([]byte, 8+len(junk))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(junk)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(junk))
+	copy(frame[8:], junk)
+	both := append(append([]byte(nil), good...), frame...)
+	if last, clean, _ := scanWAL(bytes.NewReader(both), nil); last != 1 || clean {
+		t.Fatalf("bad-kind record not treated as tail: seq=%d clean=%v", last, clean)
+	}
+}
+
+func TestWALFileNames(t *testing.T) {
+	name := walFileName(0x2a)
+	if name != "wal-000000000000002a.log" {
+		t.Fatalf("walFileName = %q", name)
+	}
+	seq, ok := parseWALFileName(name)
+	if !ok || seq != 0x2a {
+		t.Fatalf("parse = (%d, %v)", seq, ok)
+	}
+	for _, bad := range []string{"MANIFEST", "wal-.log", "segments"} {
+		if _, ok := parseWALFileName(bad); ok {
+			t.Fatalf("parsed %q as a wal file", bad)
+		}
+	}
+}
+
+func TestParseFsyncMode(t *testing.T) {
+	cases := map[string]FsyncMode{
+		"always": FsyncAlways, "interval": FsyncInterval, "off": FsyncOff, "never": FsyncOff,
+	}
+	for in, want := range cases {
+		got, err := ParseFsyncMode(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsyncMode(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFsyncMode("sometimes"); err == nil {
+		t.Fatal("want error for unknown mode")
+	}
+	if FsyncAlways.String() != "always" || FsyncInterval.String() != "interval" || FsyncOff.String() != "off" {
+		t.Fatal("FsyncMode.String mismatch")
+	}
+}
+
+// FuzzWALReplay feeds arbitrary bytes to the WAL scanner and to a full
+// store recovery. Whatever the input, recovery must neither panic nor
+// admit a corrupt batch: every record it applies passed the CRC, decode
+// and schema gates in unbroken seq order, and scanning stops cleanly at
+// the first invalid frame.
+func FuzzWALReplay(f *testing.F) {
+	seedParts := func(base int) []walPart {
+		return []walPart{{shard: 0, tab: miniBatch(f, base, 3, "w0")}}
+	}
+	p1, err := encodeWALRecord(nil, 1, seedParts(0))
+	if err != nil {
+		f.Fatal(err)
+	}
+	p2, err := encodeWALRecord(nil, 2, seedParts(10))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	writeFrame(&valid, p1)
+	writeFrame(&valid, p2)
+	f.Add(append([]byte(nil), valid.Bytes()...))
+	f.Add(valid.Bytes()[:valid.Len()-5]) // torn tail
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	mut := append([]byte(nil), valid.Bytes()...)
+	mut[9] ^= 0x40 // flip a payload bit under a stale CRC
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The scanner: must terminate without panicking, yielding only
+		// records that fully decoded.
+		if _, _, err := scanWAL(bytes.NewReader(data), func(rec *walRecord) error { return nil }); err != nil {
+			t.Fatalf("scanWAL error: %v", err)
+		}
+
+		// Full recovery over the same bytes as a wal file. The store must
+		// come up holding exactly the rows of the valid prefix: contiguous
+		// seqs from 1, in-range shards, matching schema.
+		dir := t.TempDir()
+		fh, err := OSFS{}.Create(join(dir, walFileName(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fh.Write(data)
+		fh.Close()
+		cfg := miniConfig(1)
+		st, err := Open(cfg, Durability{Dir: dir, Fsync: FsyncOff})
+		if err != nil {
+			t.Fatalf("recovery refused a torn wal instead of truncating: %v", err)
+		}
+		defer st.Close()
+		want := 0
+		next := uint64(1)
+		scanWAL(bytes.NewReader(data), func(rec *walRecord) error {
+			if next == 0 || rec.seq != next {
+				next = 0
+				return nil
+			}
+			for _, p := range rec.parts {
+				if p.shard != 0 || !p.tab.SchemaMatches(cfg.Schema) {
+					next = 0
+					return nil
+				}
+			}
+			for _, p := range rec.parts {
+				want += p.tab.NumRows()
+			}
+			next++
+			return nil
+		})
+		if got := st.Rows(); got != want {
+			t.Fatalf("recovered %d rows, valid prefix has %d", got, want)
+		}
+	})
+}
