@@ -3,10 +3,11 @@ package store
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
-	"strings"
+	"io/fs"
 	"time"
 
 	"indice/internal/table"
@@ -423,7 +424,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	if s.dur.Fsync != FsyncOff {
-		if err := s.wal.sync(); err != nil && !strings.Contains(err.Error(), "file already closed") {
+		if err := s.wal.sync(); err != nil && !errors.Is(err, fs.ErrClosed) {
 			s.wal.close()
 			return err
 		}

@@ -12,8 +12,11 @@ package store_test
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"math"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"indice/internal/query"
@@ -231,19 +234,77 @@ func TestCrashRecoverySweep(t *testing.T) {
 			}
 			assertObservablyEqual(t, fmt.Sprintf("crash at op %d (acked %d)", c, acked),
 				recovered, twin(t, batches))
+			// Second cycle: an ingest acked AFTER the recovery must survive
+			// the next restart too (regression: a torn tail the crash left
+			// behind used to stop the later replay short of the new batch).
+			extra := sweepBatch(t, 12)
+			if _, err := recovered.AppendTable(extra); err != nil {
+				t.Fatalf("crash at op %d: post-recovery ingest failed: %v", c, err)
+			}
+			if err := recovered.Close(); err != nil {
+				t.Fatalf("crash at op %d: close: %v", c, err)
+			}
+			again, err := store.Open(sweepConfig(), store.Durability{Dir: dir})
+			if err != nil {
+				t.Fatalf("second recovery after crash at op %d failed: %v", c, err)
+			}
+			defer again.Close()
+			want := twin(t, batches)
+			if _, err := want.AppendTable(sweepBatch(t, 12)); err != nil {
+				t.Fatal(err)
+			}
+			assertObservablyEqual(t, fmt.Sprintf("second restart after crash at op %d", c), again, want)
 		})
+	}
+}
+
+// tearWALTail appends half a plausible frame (a header claiming more
+// payload than follows) to the newest wal file, simulating a crash mid
+// append of an unacked batch.
+func tearWALTail(t testing.TB, dir string) {
+	t.Helper()
+	names, err := store.OSFS{}.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newest := ""
+	for _, name := range names {
+		if strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log") && name > newest {
+			newest = name
+		}
+	}
+	if newest == "" {
+		t.Fatal("no wal file to tear")
+	}
+	frag := make([]byte, 18)
+	binary.LittleEndian.PutUint32(frag[0:4], 100) // claims 100 payload bytes
+	binary.LittleEndian.PutUint32(frag[4:8], 0xdeadbeef)
+	f, err := store.OSFS{}.OpenAppend(filepath.Join(dir, newest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frag); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 
 // TestCrashDuringRecovery arms the crash while a recovery itself is
 // running: a store that dies mid-boot must leave the directory
-// recoverable by the next boot.
+// recoverable by the next boot. The boot under test also starts from a
+// torn WAL tail, so the sweep covers a crash at (or around) the
+// torn-tail truncation itself.
 func TestCrashDuringRecovery(t *testing.T) {
 	dir := t.TempDir()
 	if acked, err := runWorkload(t, dir, store.OSFS{}); err != nil || acked != 12 {
 		t.Fatalf("setup: acked=%d err=%v", acked, err)
 	}
-	// Learn how many ops a clean recovery takes.
+	// Learn how many ops a clean recovery takes (this one truncates the
+	// torn tail; each iteration below re-tears it so every run is
+	// identical to the calibration).
+	tearWALTail(t, dir)
 	cal := faultfs.New(store.OSFS{})
 	st, err := store.Open(sweepConfig(), store.Durability{Dir: dir, FS: cal})
 	if err != nil {
@@ -252,6 +313,7 @@ func TestCrashDuringRecovery(t *testing.T) {
 	st.Close()
 	total := cal.Ops()
 	for c := int64(1); c <= total; c++ {
+		tearWALTail(t, dir)
 		ffs := faultfs.New(store.OSFS{})
 		ffs.CrashAt(c)
 		if st, err := store.Open(sweepConfig(), store.Durability{Dir: dir, FS: ffs}); err == nil {

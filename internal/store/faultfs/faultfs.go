@@ -142,6 +142,14 @@ func (f *FS) Remove(name string) error {
 	return f.inner.Remove(name)
 }
 
+// Truncate implements store.FS.
+func (f *FS) Truncate(name string, size int64) error {
+	if err := f.step(); err != nil {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
 // ReadDir implements store.FS.
 func (f *FS) ReadDir(name string) ([]string, error) {
 	if err := f.step(); err != nil {

@@ -26,6 +26,9 @@ type FS interface {
 	Rename(oldpath, newpath string) error
 	// Remove deletes a file.
 	Remove(name string) error
+	// Truncate cuts a file to size bytes (recovery trims torn WAL tails
+	// back to the last valid frame boundary).
+	Truncate(name string, size int64) error
 	// ReadDir lists the file names in a directory, sorted. A missing
 	// directory returns an empty list, not an error.
 	ReadDir(name string) ([]string, error)
@@ -67,6 +70,9 @@ func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, ne
 
 // Remove implements FS.
 func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate implements FS.
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
 
 // ReadDir implements FS.
 func (OSFS) ReadDir(name string) ([]string, error) {

@@ -143,11 +143,18 @@ func (s *Store) adoptCheckpoint(m *manifest, rec *RecoveryInfo) error {
 	return nil
 }
 
-// replayWAL applies every log record with seq > applied, in order,
-// stopping cleanly at a torn tail. Log files are walked by first seq
-// with a strict contiguity rule: a file whose first record would leave a
-// gap is not replayed (it is residue past an earlier torn tail). Returns
-// the last applied seq.
+// replayWAL applies every log record with seq > applied, in order. A
+// torn tail (the partial frame of a crashed append — by construction an
+// unacked batch) is truncated away so the file ends on a valid frame
+// boundary; this matters when the writer will reuse the same file name
+// (fully-torn first file) and so a later recovery never re-stops at the
+// damage in front of newer acked records. Replay then continues into the
+// next log file: after a torn-tail recovery the writer reassigns the
+// torn record's seq, so a successor file starting at exactly applied+1
+// holds acked records. Files are walked by first seq with a strict
+// contiguity rule: a file whose first record would leave a gap is not
+// replayed (it is residue of a stray file past real damage). Returns the
+// last applied seq.
 func (s *Store) replayWAL(applied uint64, rec *RecoveryInfo) (uint64, error) {
 	names, err := s.fs.ReadDir(s.dur.Dir)
 	if err != nil {
@@ -181,7 +188,7 @@ func (s *Store) replayWAL(applied uint64, rec *RecoveryInfo) (uint64, error) {
 		if err != nil {
 			return applied, fmt.Errorf("store: wal open %s: %w", wf.name, err)
 		}
-		_, clean, serr := scanWAL(f, func(r *walRecord) error {
+		_, validBytes, clean, serr := scanWAL(f, func(r *walRecord) error {
 			if stopped || r.seq <= applied {
 				return nil
 			}
@@ -219,7 +226,12 @@ func (s *Store) replayWAL(applied uint64, rec *RecoveryInfo) (uint64, error) {
 		}
 		if !clean {
 			rec.TornTail = true
-			stopped = true
+			// Trim the torn frame before the writer is built: an acked record
+			// must never be appended after damaged bytes, or the next replay
+			// would stop short of it and drop it.
+			if terr := s.fs.Truncate(join(s.dur.Dir, wf.name), validBytes); terr != nil {
+				return applied, fmt.Errorf("store: wal truncate %s: %w", wf.name, terr)
+			}
 		}
 	}
 	if rec.ReplayedBatches > 0 {

@@ -38,39 +38,53 @@ func (sg *segment) resident() bool {
 
 // open returns the segment's table, reading it back from disk when
 // evicted. ld may be nil for stores without a persistence layer (then the
-// table is always resident).
+// table is always resident). The budget sweep runs only after sg.mu is
+// released — a sweep locks candidate segments, so triggering it while
+// holding this segment's own mutex could self-deadlock.
 func (sg *segment) open(ld *segLoader) (*table.Table, error) {
+	tab, loaded, err := sg.load(ld)
+	if err != nil {
+		return nil, err
+	}
+	if loaded {
+		ld.requestSweep()
+	}
+	return tab, nil
+}
+
+// load does the locked part of open, reporting whether it pulled the
+// table in from disk (in which case the caller enforces the budget).
+func (sg *segment) load(ld *segLoader) (*table.Table, bool, error) {
 	sg.mu.Lock()
 	defer sg.mu.Unlock()
 	if ld != nil {
 		sg.lastUse.Store(ld.clock.Add(1))
 	}
 	if sg.tab != nil {
-		return sg.tab, nil
+		return sg.tab, false, nil
 	}
 	if ld == nil || sg.path == "" {
-		return nil, fmt.Errorf("store: segment evicted with no backing file")
+		return nil, false, fmt.Errorf("store: segment evicted with no backing file")
 	}
 	f, err := ld.fs.Open(join(ld.dir, sg.path))
 	if err != nil {
-		return nil, fmt.Errorf("store: reloading segment %s: %w", sg.path, err)
+		return nil, false, fmt.Errorf("store: reloading segment %s: %w", sg.path, err)
 	}
 	tab, rerr := table.ReadBinary(f)
 	cerr := f.Close()
 	if rerr != nil {
-		return nil, fmt.Errorf("store: reloading segment %s: %w", sg.path, rerr)
+		return nil, false, fmt.Errorf("store: reloading segment %s: %w", sg.path, rerr)
 	}
 	if cerr != nil {
-		return nil, fmt.Errorf("store: reloading segment %s: %w", sg.path, cerr)
+		return nil, false, fmt.Errorf("store: reloading segment %s: %w", sg.path, cerr)
 	}
 	if tab.NumRows() != sg.rows {
-		return nil, fmt.Errorf("store: segment %s has %d rows on disk, expected %d", sg.path, tab.NumRows(), sg.rows)
+		return nil, false, fmt.Errorf("store: segment %s has %d rows on disk, expected %d", sg.path, tab.NumRows(), sg.rows)
 	}
 	sg.tab = tab
 	ld.residentRows.Add(int64(sg.rows))
 	ld.loads.Add(1)
-	ld.requestSweep()
-	return tab, nil
+	return tab, true, nil
 }
 
 // segLoader is the shared residency manager of a durable store: it reads
@@ -143,7 +157,12 @@ func (ld *segLoader) requestSweep() {
 		if sg.lastUse.Load() == newest {
 			continue
 		}
-		sg.mu.Lock()
+		// TryLock: a held mutex means the segment is mid-load or mid-read on
+		// another goroutine — skip it rather than block (and never deadlock
+		// against a caller that triggered this sweep).
+		if !sg.mu.TryLock() {
+			continue
+		}
 		if sg.tab != nil {
 			sg.tab = nil
 			ld.residentRows.Add(-int64(sg.rows))

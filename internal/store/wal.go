@@ -113,11 +113,15 @@ type walWriter struct {
 	mode     FsyncMode
 	interval time.Duration
 
+	stop     chan struct{} // stops the FsyncInterval flusher; nil otherwise
+	stopOnce sync.Once
+
 	mu       sync.Mutex
 	f        File
 	name     string
 	seq      uint64 // last assigned seq
 	bytes    int64  // bytes in the current file
+	damaged  bool   // a failed write left damage that could not be cleared
 	lastSync time.Time
 	buf      []byte // encode scratch, reused across appends
 }
@@ -137,12 +141,37 @@ func parseWALFileName(name string) (uint64, bool) {
 }
 
 // newWALWriter positions a writer after lastSeq. The file for the next
-// record is created lazily on first append.
+// record is created lazily on first append. FsyncInterval writers run a
+// background flusher so a burst of appends followed by quiet is still
+// synced within one interval — the documented power-loss window.
 func newWALWriter(fs FS, dir string, mode FsyncMode, interval time.Duration, lastSeq uint64) *walWriter {
 	if interval <= 0 {
 		interval = 100 * time.Millisecond
 	}
-	return &walWriter{fs: fs, dir: dir, mode: mode, interval: interval, seq: lastSeq}
+	w := &walWriter{fs: fs, dir: dir, mode: mode, interval: interval, seq: lastSeq}
+	if mode == FsyncInterval {
+		w.stop = make(chan struct{})
+		go w.flushLoop()
+	}
+	return w
+}
+
+// flushLoop is the FsyncInterval background flusher: it fsyncs the live
+// log every interval until close, bounding the power-loss window even
+// when no further append arrives to trigger the inline sync. Errors are
+// dropped — the data is already acked under the interval contract, and a
+// persistent failure surfaces on the next append or Close.
+func (w *walWriter) flushLoop() {
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			_ = w.sync()
+		}
+	}
 }
 
 // append encodes the parts as the next record, writes and (per policy)
@@ -153,6 +182,9 @@ func newWALWriter(fs FS, dir string, mode FsyncMode, interval time.Duration, las
 func (w *walWriter) append(parts []walPart, apply func() error) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.damaged {
+		return 0, fmt.Errorf("store: wal: log damaged by an earlier failed write; reopen the store to recover")
+	}
 	seq := w.seq + 1
 	payload, err := encodeWALRecord(w.buf[:0], seq, parts)
 	if err != nil {
@@ -171,19 +203,23 @@ func (w *walWriter) append(parts []walPart, apply func() error) (uint64, error) 
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
 	if _, err := w.f.Write(hdr[:]); err != nil {
+		w.dropFile()
 		return 0, fmt.Errorf("store: wal write: %w", err)
 	}
 	if _, err := w.f.Write(payload); err != nil {
+		w.dropFile()
 		return 0, fmt.Errorf("store: wal write: %w", err)
 	}
 	switch w.mode {
 	case FsyncAlways:
 		if err := w.f.Sync(); err != nil {
+			w.dropFile()
 			return 0, fmt.Errorf("store: wal sync: %w", err)
 		}
 	case FsyncInterval:
 		if now := time.Now(); now.Sub(w.lastSync) >= w.interval {
 			if err := w.f.Sync(); err != nil {
+				w.dropFile()
 				return 0, fmt.Errorf("store: wal sync: %w", err)
 			}
 			w.lastSync = now
@@ -198,6 +234,28 @@ func (w *walWriter) append(parts []walPart, apply func() error) (uint64, error) 
 		return 0, fmt.Errorf("store: wal apply: %w", err)
 	}
 	return seq, nil
+}
+
+// dropFile abandons the current log file after a failed write or sync:
+// it may end in a partial frame, and a later acked record appended
+// behind that damage would be unreachable to replay (which stops at the
+// first invalid frame). The partial frame is truncated away; if that
+// fails on a file holding nothing else, the file is removed — because
+// the failed record's seq is reassigned, the next append would recreate
+// that exact name and land behind the damage. When neither works the
+// writer refuses further appends rather than risk acking records replay
+// cannot reach. Caller holds w.mu.
+func (w *walWriter) dropFile() {
+	if w.f == nil {
+		return
+	}
+	w.f.Close()
+	if err := w.fs.Truncate(w.name, w.bytes); err != nil && w.bytes == 0 {
+		if w.fs.Remove(w.name) != nil {
+			w.damaged = true
+		}
+	}
+	w.f, w.name, w.bytes = nil, "", 0
 }
 
 // rotate closes the current file so the next record starts a fresh
@@ -224,8 +282,8 @@ func (w *walWriter) rotate() error {
 	return nil
 }
 
-// sync forces an fsync of the current file (used by FsyncInterval's
-// background flusher).
+// sync forces an fsync of the current file (called by flushLoop and by
+// Close's final flush).
 func (w *walWriter) sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -239,8 +297,12 @@ func (w *walWriter) sync() error {
 	return nil
 }
 
-// close releases the current file handle.
+// close stops the background flusher (if any) and releases the current
+// file handle. Safe to call more than once.
 func (w *walWriter) close() error {
+	if w.stop != nil {
+		w.stopOnce.Do(func() { close(w.stop) })
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
@@ -325,20 +387,22 @@ func decodeWALPayload(p []byte) (*walRecord, error) {
 // a truncated header, an implausible length, a CRC mismatch, or an
 // undecodable payload — which is the torn tail of a crashed append, not
 // an error. The return values report the last valid seq seen (0 when
-// none), whether the stream ended exactly on a frame boundary, and any
-// error from fn or the underlying reader's non-EOF failures.
-func scanWAL(r io.Reader, fn func(rec *walRecord) error) (lastSeq uint64, clean bool, err error) {
+// none), the byte length of the valid frame prefix (recovery truncates a
+// torn file back to this boundary), whether the stream ended exactly on
+// a frame boundary, and any error from fn or the underlying reader's
+// non-EOF failures.
+func scanWAL(r io.Reader, fn func(rec *walRecord) error) (lastSeq uint64, validBytes int64, clean bool, err error) {
 	var hdr [8]byte
 	var payload []byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			// EOF here is the clean end; a partial header is a torn tail.
-			return lastSeq, err == io.EOF, nil
+			return lastSeq, validBytes, err == io.EOF, nil
 		}
 		n := binary.LittleEndian.Uint32(hdr[0:4])
 		want := binary.LittleEndian.Uint32(hdr[4:8])
 		if n == 0 || n > maxWALPayload {
-			return lastSeq, false, nil
+			return lastSeq, validBytes, false, nil
 		}
 		// Read the payload in bounded chunks so allocation tracks the bytes
 		// actually supplied, not the (possibly corrupt) claimed length.
@@ -358,20 +422,21 @@ func scanWAL(r io.Reader, fn func(rec *walRecord) error) (lastSeq uint64, clean 
 			remaining -= m
 		}
 		if torn {
-			return lastSeq, false, nil
+			return lastSeq, validBytes, false, nil
 		}
 		if crc32.ChecksumIEEE(payload) != want {
-			return lastSeq, false, nil
+			return lastSeq, validBytes, false, nil
 		}
 		rec, derr := decodeWALPayload(payload)
 		if derr != nil {
-			return lastSeq, false, nil
+			return lastSeq, validBytes, false, nil
 		}
 		if fn != nil {
 			if err := fn(rec); err != nil {
-				return lastSeq, false, err
+				return lastSeq, validBytes, false, err
 			}
 		}
 		lastSeq = rec.seq
+		validBytes += int64(len(hdr) + len(payload))
 	}
 }

@@ -94,7 +94,7 @@ func TestScanWALStopsAtTornTail(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			seen := 0
-			last, clean, err := scanWAL(bytes.NewReader(tc.log), func(rec *walRecord) error {
+			last, _, clean, err := scanWAL(bytes.NewReader(tc.log), func(rec *walRecord) error {
 				seen++
 				return nil
 			})
@@ -119,14 +119,14 @@ func TestScanWALRejectsCorruptFrames(t *testing.T) {
 	// Flipped CRC: record is dropped, scan stops.
 	flipped := append([]byte(nil), good...)
 	flipped[4] ^= 0xff
-	if last, clean, _ := scanWAL(bytes.NewReader(flipped), nil); last != 0 || clean {
+	if last, _, clean, _ := scanWAL(bytes.NewReader(flipped), nil); last != 0 || clean {
 		t.Fatalf("flipped CRC accepted: seq=%d clean=%v", last, clean)
 	}
 
 	// Flipped payload byte: CRC catches it.
 	mangled := append([]byte(nil), good...)
 	mangled[12] ^= 0x01
-	if last, _, _ := scanWAL(bytes.NewReader(mangled), nil); last != 0 {
+	if last, _, _, _ := scanWAL(bytes.NewReader(mangled), nil); last != 0 {
 		t.Fatalf("mangled payload accepted: seq=%d", last)
 	}
 
@@ -136,7 +136,7 @@ func TestScanWALRejectsCorruptFrames(t *testing.T) {
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(maxWALPayload+1))
 	huge.Write(hdr[:])
 	huge.WriteString("xxxx")
-	if last, clean, _ := scanWAL(&huge, nil); last != 0 || clean {
+	if last, _, clean, _ := scanWAL(&huge, nil); last != 0 || clean {
 		t.Fatal("oversized frame accepted")
 	}
 
@@ -148,7 +148,7 @@ func TestScanWALRejectsCorruptFrames(t *testing.T) {
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(junk))
 	copy(frame[8:], junk)
 	both := append(append([]byte(nil), good...), frame...)
-	if last, clean, _ := scanWAL(bytes.NewReader(both), nil); last != 1 || clean {
+	if last, _, clean, _ := scanWAL(bytes.NewReader(both), nil); last != 1 || clean {
 		t.Fatalf("bad-kind record not treated as tail: seq=%d clean=%v", last, clean)
 	}
 }
@@ -218,7 +218,7 @@ func FuzzWALReplay(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// The scanner: must terminate without panicking, yielding only
 		// records that fully decoded.
-		if _, _, err := scanWAL(bytes.NewReader(data), func(rec *walRecord) error { return nil }); err != nil {
+		if _, _, _, err := scanWAL(bytes.NewReader(data), func(rec *walRecord) error { return nil }); err != nil {
 			t.Fatalf("scanWAL error: %v", err)
 		}
 
