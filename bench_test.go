@@ -7,8 +7,10 @@ package indice
 //	go test -bench=. -benchmem .
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"sync"
 	"testing"
@@ -22,12 +24,23 @@ import (
 	"indice/internal/geo"
 	"indice/internal/geocode"
 	"indice/internal/matrix"
+	"indice/internal/obs"
 	"indice/internal/outlier"
 	"indice/internal/query"
 	"indice/internal/store"
 	"indice/internal/synth"
 	"indice/internal/table"
 )
+
+// Obs A/B: INDICE_BENCH_OBS_OFF=1 disables the default registry's
+// histograms and spans (counters and gauges stay live — a single atomic
+// add is the floor), so the same bench invocation run twice measures
+// the observability layer's real overhead on identical hardware.
+func init() {
+	if os.Getenv("INDICE_BENCH_OBS_OFF") == "1" {
+		obs.Default.SetEnabled(false)
+	}
+}
 
 var (
 	worldOnce sync.Once
@@ -1044,4 +1057,63 @@ func BenchmarkE13Durability(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkE14ObsOverhead prices the observability primitives on their
+// hot paths: one counter/gauge/histogram update, and a full span
+// start+end — with the registry enabled versus disabled. The disabled
+// span is the cost every instrumented code path pays when observability
+// is switched off (one atomic load + two nil checks); the enabled
+// histogram observe is what each WAL append, query, and HTTP request
+// adds per event. Recorded in BENCH_obs.json.
+func BenchmarkE14ObsOverhead(b *testing.B) {
+	reg := obs.NewRegistry()
+	ctr := reg.Counter("bench_counter_total", "bench")
+	gauge := reg.Gauge("bench_gauge", "bench")
+	hist := reg.Histogram("bench_seconds", "bench", obs.Nanos)
+
+	b.Run("counter_inc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctr.Inc()
+		}
+	})
+	b.Run("gauge_set", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			gauge.Set(float64(i))
+		}
+	})
+	b.Run("histogram_observe", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hist.Observe(uint64(i)*1009 + 17)
+		}
+	})
+	b.Run("histogram_observe_disabled", func(b *testing.B) {
+		reg.SetEnabled(false)
+		defer reg.SetEnabled(true)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hist.Observe(uint64(i))
+		}
+	})
+	b.Run("span_enabled", func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, sp := reg.StartSpan(ctx, "bench.stage")
+			sp.End()
+		}
+	})
+	b.Run("span_disabled", func(b *testing.B) {
+		reg.SetEnabled(false)
+		defer reg.SetEnabled(true)
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, sp := reg.StartSpan(ctx, "bench.stage")
+			sp.End()
+		}
+	})
 }

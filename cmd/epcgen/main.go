@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"time"
 
+	"indice/internal/obs"
 	"indice/internal/synth"
 	"indice/internal/table"
 )
@@ -119,20 +120,25 @@ func main() {
 }
 
 // streamTo POSTs the table to a live ingestion endpoint in typed-CSV
-// batches, reporting throughput as it goes. With crashAfter > 0 the
-// process exits abruptly once that many batches are acked, printing the
-// exact acked row count on its last line — the e2e kill-9 harness
-// streams, "crashes", restarts the server and asserts those rows
-// survived.
+// batches, reporting throughput as it goes and recording each batch's
+// round-trip time (encode + POST + ack) in a client-side histogram; the
+// exit summary prints the p50/p95/p99 batch latency alongside the
+// record throughput, making epcgen a self-contained load harness. With
+// crashAfter > 0 the process exits abruptly once that many batches are
+// acked, printing the exact acked row count on its last line — the e2e
+// kill-9 harness streams, "crashes", restarts the server and asserts
+// those rows survived.
 func streamTo(url string, tab *table.Table, batchSize int, pause time.Duration, crashAfter int) error {
 	if batchSize < 1 {
 		return fmt.Errorf("batch size %d", batchSize)
 	}
 	client := &http.Client{Timeout: 2 * time.Minute}
+	lat := obs.NewHistogram()
 	start := time.Now()
 	sent, rejected := 0, 0
 	ackedBatches := 0
 	for off := 0; off < tab.NumRows(); off += batchSize {
+		batchStart := time.Now()
 		end := off + batchSize
 		if end > tab.NumRows() {
 			end = tab.NumRows()
@@ -166,6 +172,7 @@ func streamTo(url string, tab *table.Table, batchSize int, pause time.Duration, 
 		sent += ack.Accepted
 		rejected += ack.Rejected
 		ackedBatches++
+		lat.ObserveDuration(time.Since(batchStart))
 		fmt.Fprintf(os.Stderr, "\rstreamed %d/%d certificates (%d rejected, store at %d rows)",
 			sent, tab.NumRows(), rejected, ack.Rows)
 		if crashAfter > 0 && ackedBatches >= crashAfter {
@@ -182,7 +189,16 @@ func streamTo(url string, tab *table.Table, batchSize int, pause time.Duration, 
 	rate := float64(sent) / elapsed.Seconds()
 	fmt.Fprintf(os.Stderr, "\nstreamed %d certificates in %v (%.0f records/s, %d rejected)\n",
 		sent, elapsed.Round(time.Millisecond), rate, rejected)
+	s := lat.Load()
+	fmt.Fprintf(os.Stderr, "batch latency over %d batches: p50=%v p95=%v p99=%v max=%v\n",
+		s.Count, quantDur(s, 0.50), quantDur(s, 0.95), quantDur(s, 0.99),
+		time.Duration(s.Max).Round(10*time.Microsecond))
 	return nil
+}
+
+// quantDur renders one latency quantile of the batch histogram.
+func quantDur(s obs.HistSnapshot, q float64) time.Duration {
+	return time.Duration(s.Quantile(q)).Round(10 * time.Microsecond)
 }
 
 func fatal(err error) {

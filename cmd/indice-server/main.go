@@ -19,8 +19,8 @@
 //	indice-server -ingest -data-dir /var/lib/indice -fsync always
 //
 // Routes: / (navigation), /dashboard/{stakeholder}, /map?level=&attr=,
-// /api/{stats,zones,rules,clusters}; live mode adds
-// /api/{ingest,refresh,store}.
+// /api/{stats,zones,rules,clusters,health} and the Prometheus /metrics
+// exposition; live mode adds /api/{ingest,refresh,store}.
 package main
 
 import (
@@ -41,6 +41,7 @@ import (
 	"indice/internal/epc"
 	"indice/internal/geo"
 	"indice/internal/geocode"
+	"indice/internal/obs"
 	"indice/internal/parallel"
 	"indice/internal/query"
 	"indice/internal/server"
@@ -136,7 +137,9 @@ func main() {
 	defer stop()
 
 	// Profiling is opt-in and bound to its own listener, so the public
-	// dashboard address never exposes /debug/pprof.
+	// dashboard address never exposes /debug/pprof. The same sidecar mux
+	// re-exposes /metrics, letting an ops scrape target avoid the public
+	// address entirely (the main server serves /metrics too).
 	if *pprofAddr != "" {
 		go func() {
 			mux := http.NewServeMux()
@@ -145,6 +148,7 @@ func main() {
 			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			mux.HandleFunc("/metrics", obs.Handler(obs.Default))
 			fmt.Fprintf(os.Stderr, "pprof listening on %s\n", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
 				log.Printf("pprof listener: %v", err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -10,6 +11,7 @@ import (
 	"indice/internal/epc"
 	"indice/internal/geocode"
 	"indice/internal/matrix"
+	"indice/internal/obs"
 	"indice/internal/outlier"
 	"indice/internal/stats"
 	"indice/internal/store"
@@ -151,24 +153,32 @@ func (l *Live) incrementalEligible(prev *Published) bool {
 // tryIncremental attempts the fast path. It returns (pub, true) on
 // success; (nil, false) sends the caller down the cold path (after
 // invalidating the lineage if it may have been left inconsistent).
-func (l *Live) tryIncremental(start time.Time, snap *store.Snapshot, prev *Published) (*Published, bool) {
+func (l *Live) tryIncremental(ctx context.Context, start time.Time, snap *store.Snapshot, prev *Published) (*Published, bool) {
 	if !l.incrementalEligible(prev) {
+		mFallbackIneligible.Inc()
 		return nil, false
 	}
 	lin := l.lineage
 	if lin.sinceFull+1 >= l.cfg.Incremental.FullEvery {
+		mFallbackFullEvery.Inc()
 		return nil, false
 	}
 	delta, ok := snap.DeltaSince(lin.epoch)
 	if !ok {
+		mFallbackNoDelta.Inc()
 		return nil, false
 	}
 	drift, measurable := driftSince(lin.refStats, snap, append(append([]string(nil), lin.attrs...), lin.response))
+	if measurable {
+		mRefreshDrift.Set(drift)
+	}
 	if !measurable || drift > l.cfg.Incremental.DriftThreshold {
+		mFallbackDrift.Inc()
 		return nil, false
 	}
-	pub, err := l.refreshIncremental(start, snap, prev, delta, drift)
+	pub, err := l.refreshIncremental(ctx, start, snap, prev, delta, drift)
 	if err != nil {
+		mFallbackError.Inc()
 		// The lineage may hold a half-applied delta; drop it and let the
 		// cold path rebuild. Expected degradations (errIncremental) stay
 		// silent; anything else is recorded so a persistently dead fast
@@ -189,11 +199,14 @@ func (l *Live) tryIncremental(start time.Time, snap *store.Snapshot, prev *Publi
 // refreshIncremental runs one delta-proportional refresh: materialize and
 // preprocess only the delta, re-screen fences over the full value set,
 // and warm-start a single clustering run at the previous K.
-func (l *Live) refreshIncremental(start time.Time, snap *store.Snapshot, prev *Published,
+func (l *Live) refreshIncremental(ctx context.Context, start time.Time, snap *store.Snapshot, prev *Published,
 	delta *store.Delta, drift float64) (*Published, error) {
 	lin := l.lineage
 	var deltaCleaning *geocode.Report
 	if delta.NewRows > 0 {
+		// An error abandons the refresh, so the span is only recorded on
+		// the successful path.
+		_, spDelta := obs.StartSpan(ctx, "delta")
 		// One owned copy of the new rows (the store shares segments
 		// zero-copy; cleaning mutates, so the delta must be private).
 		deltaTab, err := table.Concat(delta.Tables()...)
@@ -213,6 +226,7 @@ func (l *Live) refreshIncremental(start time.Time, snap *store.Snapshot, prev *P
 			return nil, fmt.Errorf("%w: %v", errIncremental, err)
 		}
 		lin.rowIdx = append(lin.rowIdx, newIdx...)
+		spDelta.End()
 	}
 	// From here on the lineage tables are consistent with snap even if a
 	// later stage fails; still, any error invalidates the lineage (the
@@ -221,6 +235,7 @@ func (l *Live) refreshIncremental(start time.Time, snap *store.Snapshot, prev *P
 	// Outlier screen over the full value multiset: the fences match what
 	// the cold path would compute on this snapshot exactly, so the set of
 	// dropped rows is identical — only their order differs.
+	_, spScreen := obs.StartSpan(ctx, "screen")
 	pcfg := l.cfg.Preprocess
 	attrs := pcfg.OutlierAttrs
 	if len(attrs) == 0 {
@@ -272,11 +287,14 @@ func (l *Live) refreshIncremental(start time.Time, snap *store.Snapshot, prev *P
 	}
 	rep.RowsAfter = tab.NumRows()
 	eng, err := NewEngine(tab, l.hier, l.cfg.Options)
+	spScreen.End()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", errIncremental, err)
 	}
 
+	_, spWarm := obs.StartSpan(ctx, "warm_kmeans")
 	an, newCentroidsRaw, err := l.analyzeIncremental(eng, prev.Analysis, drop)
+	spWarm.End()
 	if err != nil {
 		return nil, err
 	}
@@ -285,6 +303,11 @@ func (l *Live) refreshIncremental(start time.Time, snap *store.Snapshot, prev *P
 	lin.sinceFull++
 	lin.centroids = newCentroidsRaw
 	l.incRefreshes.Add(1)
+	mRefreshInc.Inc()
+	mRefreshDeltaRows.Set(float64(delta.NewRows))
+	if an.Clustering != nil {
+		mWarmIterations.Set(float64(an.Clustering.Iterations))
+	}
 	return &Published{
 		Epoch:       snap.Epoch(),
 		Generation:  snap.Generation(),

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"indice/internal/geo"
+	"indice/internal/obs"
 	"indice/internal/store"
 )
 
@@ -210,54 +211,72 @@ func (l *Live) Refresh() (*Published, error) {
 		msg := err.Error()
 		l.lastErr.Store(&msg)
 		l.lastErrAt.Store(time.Now().UnixNano())
+		mRefreshErrors.Inc()
 		return nil, err
 	}
 	l.lastErr.Store(nil)
 	l.cur.Store(pub)
 	l.refreshes.Add(1)
+	if pub.Incremental {
+		mRefreshIncSecs.ObserveDuration(pub.Took)
+	} else {
+		mRefreshFullSecs.ObserveDuration(pub.Took)
+	}
 	return pub, nil
 }
 
 func (l *Live) refreshLocked() (*Published, error) {
 	start := time.Now()
+	ctx, root := obs.StartSpan(context.Background(), "refresh")
+	defer root.End()
 	// Gate on the live row count before paying for a snapshot, then
 	// re-check the frozen count (a concurrent ingest may still race the
 	// first read upward, never downward — the store is append-only).
 	if rows := l.store.Rows(); rows < l.cfg.MinRows {
 		return nil, fmt.Errorf("%w: %d rows, need %d", ErrStoreTooSmall, rows, l.cfg.MinRows)
 	}
+	_, spSnap := obs.StartSpan(ctx, "snapshot")
 	snap := l.store.Snapshot()
+	spSnap.End()
 	if snap.NumRows() < l.cfg.MinRows {
 		return nil, fmt.Errorf("%w: %d rows, need %d", ErrStoreTooSmall, snap.NumRows(), l.cfg.MinRows)
 	}
-	if pub, ok := l.tryIncremental(start, snap, l.cur.Load()); ok {
+	if pub, ok := l.tryIncremental(ctx, start, snap, l.cur.Load()); ok {
 		return pub, nil
 	}
+	_, spMat := obs.StartSpan(ctx, "materialize")
 	tab, err := snap.Table()
 	if err != nil {
+		spMat.End()
 		return nil, fmt.Errorf("core: refresh: %w", err)
 	}
 	// The snapshot's materialized table is cached and shared; the engine
 	// owns its working copy.
 	eng, err := NewEngine(tab.Clone(), l.hier, l.cfg.Options)
+	spMat.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: refresh: %w", err)
 	}
 	pcfg := l.cfg.Preprocess
 	pcfg.keepPreDrop = !l.cfg.Incremental.Disable && !l.cfg.SkipAnalysis
+	_, spPrep := obs.StartSpan(ctx, "preprocess")
 	rep, err := eng.Preprocess(pcfg)
+	spPrep.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: refresh: %w", err)
 	}
 	var an *Analysis
 	if !l.cfg.SkipAnalysis {
+		_, spAn := obs.StartSpan(ctx, "analyze")
 		an, err = eng.Analyze(l.cfg.Analysis)
+		spAn.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: refresh: %w", err)
 		}
 	}
 	l.rebuildLineage(snap, eng, rep, an)
 	l.fullRefr.Add(1)
+	mRefreshFull.Inc()
 	return &Published{
 		Epoch:       snap.Epoch(),
 		Generation:  snap.Generation(),

@@ -16,8 +16,6 @@ type queryCache struct {
 	ll       *list.List // front = most recently used
 	entries  map[string]*list.Element
 	epoch    uint64
-	hits     uint64
-	misses   uint64
 }
 
 type cacheEntry struct {
@@ -54,11 +52,11 @@ func (c *queryCache) get(epoch uint64, key string) (*queryResponse, bool) {
 	c.sync(epoch)
 	el, ok := c.entries[key]
 	if !ok {
-		c.misses++
+		mCacheMisses.Inc()
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	c.hits++
+	mCacheHits.Inc()
 	return el.Value.(*cacheEntry).val, true
 }
 
@@ -86,9 +84,11 @@ func (c *queryCache) put(epoch uint64, key string, val *queryResponse) {
 	}
 }
 
-// stats returns the hit/miss counters and current size.
+// stats returns the hit/miss counters (read through the obs registry —
+// the same series /metrics exports, so they aggregate process-wide
+// across server instances) and the current per-instance entry count.
 func (c *queryCache) stats() (hits, misses uint64, size int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.ll.Len()
+	return mCacheHits.Value(), mCacheMisses.Value(), c.ll.Len()
 }

@@ -21,17 +21,21 @@ import (
 	"fmt"
 	"html"
 	"io"
+	"log"
 	"math"
 	"mime"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strings"
+	"time"
 
 	"indice/internal/assoc"
 	"indice/internal/core"
 	"indice/internal/dashboard"
 	"indice/internal/epc"
 	"indice/internal/geo"
+	"indice/internal/obs"
 	"indice/internal/query"
 	"indice/internal/stats"
 	"indice/internal/store"
@@ -93,12 +97,33 @@ func (s *Server) routes() {
 	s.handle("/api/ingest", maxIngestBody, s.handleIngest, http.MethodPost)
 	s.handle("/api/refresh", maxSmallBody, s.handleRefresh, http.MethodPost)
 	s.handle("/api/checkpoint", maxSmallBody, s.handleCheckpoint, http.MethodPost)
+	s.handle("/api/health", maxSmallBody, s.handleHealth, http.MethodGet)
+	s.handle("/metrics", maxSmallBody, obs.Handler(obs.Default), http.MethodGet)
 }
 
 // handle registers a route enforcing the allowed request methods (HEAD
-// rides along with GET) and bounding the request body.
+// rides along with GET) and bounding the request body. The closure is
+// also the observability middleware: it counts in-flight requests,
+// times the whole chain into indice_http_request_seconds{route=...},
+// accounts the status class, and recovers handler panics into a 500
+// (logged with the stack) instead of killing the connection goroutine.
 func (s *Server) handle(pattern string, maxBody int64, h http.HandlerFunc, methods ...string) {
+	rm := metricsForRoute(pattern)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		mHTTPInFlight.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if rec := recover(); rec != nil {
+				mHTTPPanics.Inc()
+				log.Printf("server: panic serving %s %s: %v\n%s", r.Method, pattern, rec, debug.Stack())
+				if sw.code == 0 {
+					http.Error(sw, "internal server error", http.StatusInternalServerError)
+				}
+			}
+			mHTTPInFlight.Add(-1)
+			rm.observe(sw.status(), time.Since(start))
+		}()
 		allowed := false
 		for _, m := range methods {
 			if r.Method == m || (m == http.MethodGet && r.Method == http.MethodHead) {
@@ -107,14 +132,14 @@ func (s *Server) handle(pattern string, maxBody int64, h http.HandlerFunc, metho
 			}
 		}
 		if !allowed {
-			w.Header().Set("Allow", strings.Join(methods, ", "))
-			http.Error(w, fmt.Sprintf("method %s not allowed", r.Method), http.StatusMethodNotAllowed)
+			sw.Header().Set("Allow", strings.Join(methods, ", "))
+			http.Error(sw, fmt.Sprintf("method %s not allowed", r.Method), http.StatusMethodNotAllowed)
 			return
 		}
 		if r.Body != nil {
-			r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+			r.Body = http.MaxBytesReader(sw, r.Body, maxBody)
 		}
-		h(w, r)
+		h(sw, r)
 	})
 }
 

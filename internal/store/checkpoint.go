@@ -215,6 +215,12 @@ func (s *Store) Checkpoint() (CheckpointResult, error) {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
 	start := time.Now()
+	ok := false
+	defer func() {
+		if !ok {
+			mCheckpointErrors.Inc()
+		}
+	}()
 
 	// Phase 1 — freeze: under the store write lock (no appends in
 	// flight), seal every tail, capture the sealed-segment lists, read
@@ -234,6 +240,7 @@ func (s *Store) Checkpoint() (CheckpointResult, error) {
 	acc := s.accepted.Load()
 	rej := s.rejected.Load()
 	s.mu.Unlock()
+	mCkptFreezeSeconds.ObserveDuration(time.Since(start))
 	if rotateErr != nil {
 		return res, rotateErr
 	}
@@ -241,6 +248,7 @@ func (s *Store) Checkpoint() (CheckpointResult, error) {
 	// Phase 2 — persist: write every segment that has no file yet, fsync
 	// each, then fsync the segments directory so the new names are
 	// durable before the manifest references them.
+	persistStart := time.Now()
 	wroteAny := false
 	for i, shardSegs := range segs {
 		for _, sg := range shardSegs {
@@ -269,6 +277,8 @@ func (s *Store) Checkpoint() (CheckpointResult, error) {
 			return res, fmt.Errorf("store: checkpoint segments sync: %w", err)
 		}
 	}
+	mCkptPersistSecs.ObserveDuration(time.Since(persistStart))
+	commitStart := time.Now()
 
 	// Phase 3 — commit: the manifest names every segment file and the
 	// covered WAL position, replacing its predecessor atomically.
@@ -296,6 +306,8 @@ func (s *Store) Checkpoint() (CheckpointResult, error) {
 	if err := writeManifest(s.fs, s.dur.Dir, m); err != nil {
 		return res, err
 	}
+	mCkptCommitSecs.ObserveDuration(time.Since(commitStart))
+	pruneStart := time.Now()
 
 	// Phase 4 — prune: WAL files holding only records <= lastSeq are now
 	// redundant. Files are named by their first seq and rotated exactly
@@ -311,12 +323,19 @@ func (s *Store) Checkpoint() (CheckpointResult, error) {
 		}
 	}
 
+	mCkptPruneSecs.ObserveDuration(time.Since(pruneStart))
+
 	s.checkpoints.Add(1)
 	s.lastCkptSeq.Store(lastSeq)
 	s.lastCkptUnix.Store(time.Now().Unix())
 	res.WALSeq = lastSeq
 	res.Took = time.Since(start)
 	res.TookSeconds = res.Took.Seconds()
+	s.lastCkptTookNanos.Store(int64(res.Took))
+	s.lastCkptSegments.Store(uint64(res.NewSegments))
+	mCheckpoints.Inc()
+	mWALGCFiles.Add(uint64(res.WALFilesRemoved))
+	ok = true
 
 	// Newly persisted segments are now evictable; enforce the budget.
 	s.ld.requestSweep()
@@ -374,10 +393,13 @@ type DurabilityStatus struct {
 	WALSeq   uint64 `json:"wal_seq,omitempty"`
 	WALBytes int64  `json:"wal_bytes,omitempty"`
 	// Checkpoints counts completed checkpoints; LastCheckpointSeq the WAL
-	// position the latest one covers.
-	Checkpoints       uint64 `json:"checkpoints,omitempty"`
-	LastCheckpointSeq uint64 `json:"last_checkpoint_seq,omitempty"`
-	LastCheckpointAt  string `json:"last_checkpoint_at,omitempty"`
+	// position the latest one covers; the Took/NewSegments pair describes
+	// the latest checkpoint's cost.
+	Checkpoints               uint64  `json:"checkpoints,omitempty"`
+	LastCheckpointSeq         uint64  `json:"last_checkpoint_seq,omitempty"`
+	LastCheckpointAt          string  `json:"last_checkpoint_at,omitempty"`
+	LastCheckpointTookSeconds float64 `json:"last_checkpoint_took_seconds,omitempty"`
+	LastCheckpointNewSegments uint64  `json:"last_checkpoint_new_segments,omitempty"`
 	// ResidentRows counts rows of persisted segments currently in memory;
 	// SegmentLoads/Evictions the cold-reload and eviction traffic.
 	ResidentRows int64  `json:"resident_rows,omitempty"`
@@ -409,6 +431,8 @@ func (s *Store) DurabilityStatus() DurabilityStatus {
 	}
 	if at := s.lastCkptUnix.Load(); at > 0 {
 		ds.LastCheckpointAt = time.Unix(at, 0).UTC().Format("2006-01-02T15:04:05Z")
+		ds.LastCheckpointTookSeconds = time.Duration(s.lastCkptTookNanos.Load()).Seconds()
+		ds.LastCheckpointNewSegments = s.lastCkptSegments.Load()
 	}
 	if s.recovery != (RecoveryInfo{}) {
 		rec := s.recovery

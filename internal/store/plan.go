@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"time"
 
 	"indice/internal/parallel"
 	"indice/internal/query"
@@ -61,6 +62,7 @@ type shardResult struct {
 // candidates or segments. Shards are processed on workers goroutines
 // (see parallel.Workers); the result is identical at any parallelism.
 func (sn *Snapshot) Query(p query.Predicate, workers int) (*table.Table, PlanStats, error) {
+	start := time.Now()
 	ps := PlanStats{Shards: len(sn.segs)}
 	if p == nil {
 		tab, err := sn.Table()
@@ -68,6 +70,8 @@ func (sn *Snapshot) Query(p query.Predicate, workers int) (*table.Table, PlanSta
 			return nil, ps, err
 		}
 		ps.MatchedRows = tab.NumRows()
+		observePlan(ps, true)
+		mQuerySeconds.ObserveDuration(time.Since(start))
 		return tab, ps, nil
 	}
 	pushIn, pushRange := pushdown(p, sn)
@@ -99,6 +103,8 @@ func (sn *Snapshot) Query(p query.Predicate, workers int) (*table.Table, PlanSta
 		}
 	}
 	ps.MatchedRows = out.NumRows()
+	observePlan(ps, false)
+	mQuerySeconds.ObserveDuration(time.Since(start))
 	return out, ps, nil
 }
 

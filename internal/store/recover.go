@@ -237,6 +237,7 @@ func (s *Store) replayWAL(applied uint64, rec *RecoveryInfo) (uint64, error) {
 	if rec.ReplayedBatches > 0 {
 		s.generation.Add(uint64(rec.ReplayedBatches))
 		s.accepted.Add(uint64(rec.ReplayedRows))
+		mStoreRows.Add(float64(rec.ReplayedRows))
 	}
 	return applied, nil
 }

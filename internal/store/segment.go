@@ -84,6 +84,8 @@ func (sg *segment) load(ld *segLoader) (*table.Table, bool, error) {
 	sg.tab = tab
 	ld.residentRows.Add(int64(sg.rows))
 	ld.loads.Add(1)
+	mSegLoads.Inc()
+	mResidentRows.Set(float64(ld.residentRows.Load()))
 	return tab, true, nil
 }
 
@@ -116,6 +118,7 @@ func newSegLoader(fs FS, dir string, budget int) *segLoader {
 func (ld *segLoader) register(sg *segment) {
 	sg.lastUse.Store(ld.clock.Add(1))
 	ld.residentRows.Add(int64(sg.rows))
+	mResidentRows.Set(float64(ld.residentRows.Load()))
 	ld.mu.Lock()
 	ld.segs = append(ld.segs, sg)
 	ld.mu.Unlock()
@@ -167,6 +170,8 @@ func (ld *segLoader) requestSweep() {
 			sg.tab = nil
 			ld.residentRows.Add(-int64(sg.rows))
 			ld.evictions.Add(1)
+			mSegEvictions.Inc()
+			mResidentRows.Set(float64(ld.residentRows.Load()))
 		}
 		sg.mu.Unlock()
 	}

@@ -51,6 +51,7 @@ type Snapshot struct {
 // Concurrent appends are excluded for the duration, so the snapshot is
 // batch-atomic.
 func (s *Store) Snapshot() *Snapshot {
+	mSnapshots.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 

@@ -31,6 +31,7 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"indice/internal/epc"
 	"indice/internal/stats"
@@ -137,10 +138,12 @@ type Store struct {
 	ckptBusy atomic.Bool
 	segID    atomic.Uint64 // segment file id counter (persisted via manifest)
 
-	checkpoints  atomic.Uint64
-	lastCkptSeq  atomic.Uint64
-	lastCkptUnix atomic.Int64
-	recovery     RecoveryInfo
+	checkpoints       atomic.Uint64
+	lastCkptSeq       atomic.Uint64
+	lastCkptUnix      atomic.Int64
+	lastCkptTookNanos atomic.Int64
+	lastCkptSegments  atomic.Uint64
+	recovery          RecoveryInfo
 }
 
 // recScratch is the pooled per-batch scratch of the record ingest path.
@@ -315,6 +318,8 @@ func (s *Store) AppendTable(t *table.Table) (IngestResult, error) {
 	if t == nil || t.NumRows() == 0 {
 		return res, nil
 	}
+	start := time.Now()
+	defer func() { mIngestSeconds.ObserveDuration(time.Since(start)) }()
 	if !t.SchemaMatches(s.schema) {
 		// Typed CSV and binary batches are self-describing, so a batch
 		// carrying the right columns in a different order is fine:
@@ -329,6 +334,8 @@ func (s *Store) AppendTable(t *table.Table) (IngestResult, error) {
 		t, res = s.screen(t)
 		if t.NumRows() == 0 {
 			s.rejected.Add(uint64(res.Rejected))
+			mIngestBatches.Inc()
+			mIngestRejected.Add(uint64(res.Rejected))
 			return res, nil
 		}
 	}
@@ -384,6 +391,10 @@ func (s *Store) AppendTable(t *table.Table) (IngestResult, error) {
 	res.Accepted = t.NumRows()
 	s.accepted.Add(uint64(res.Accepted))
 	s.rejected.Add(uint64(res.Rejected))
+	mIngestBatches.Inc()
+	mIngestAccepted.Add(uint64(res.Accepted))
+	mIngestRejected.Add(uint64(res.Rejected))
+	mStoreRows.Add(float64(res.Accepted))
 	if res.Accepted > 0 {
 		s.generation.Add(1)
 	}
@@ -548,6 +559,7 @@ func (sh *shard) adopt(tab *table.Table, path string, cfg *Config) *segment {
 	sg := &segment{rows: tab.NumRows(), tab: tab, path: path}
 	sh.sealed = append(sh.sealed, sg)
 	sh.rows += tab.NumRows()
+	mStoreRows.Add(float64(tab.NumRows()))
 	return sg
 }
 

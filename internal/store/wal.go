@@ -180,6 +180,8 @@ func (w *walWriter) flushLoop() {
 // application happens in seq order. On a write error the record is not
 // acked and apply does not run.
 func (w *walWriter) append(parts []walPart, apply func() error) (uint64, error) {
+	start := time.Now()
+	defer func() { mWALAppendSeconds.ObserveDuration(time.Since(start)) }()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.damaged {
@@ -212,13 +214,13 @@ func (w *walWriter) append(parts []walPart, apply func() error) (uint64, error) 
 	}
 	switch w.mode {
 	case FsyncAlways:
-		if err := w.f.Sync(); err != nil {
+		if err := w.timedSync(); err != nil {
 			w.dropFile()
 			return 0, fmt.Errorf("store: wal sync: %w", err)
 		}
 	case FsyncInterval:
 		if now := time.Now(); now.Sub(w.lastSync) >= w.interval {
-			if err := w.f.Sync(); err != nil {
+			if err := w.timedSync(); err != nil {
 				w.dropFile()
 				return 0, fmt.Errorf("store: wal sync: %w", err)
 			}
@@ -227,6 +229,8 @@ func (w *walWriter) append(parts []walPart, apply func() error) (uint64, error) 
 	}
 	w.seq = seq
 	w.bytes += int64(len(hdr) + len(payload))
+	mWALRecords.Inc()
+	mWALBytes.Set(float64(w.bytes))
 	if err := apply(); err != nil {
 		// The record is on the log but the in-memory apply failed — the
 		// store is now behind its own log. Apply never fails for schema
@@ -276,6 +280,7 @@ func (w *walWriter) rotate() error {
 	}
 	err := w.f.Close()
 	w.f, w.name, w.bytes = nil, "", 0
+	mWALBytes.Set(0)
 	if err != nil {
 		return fmt.Errorf("store: wal rotate: %w", err)
 	}
@@ -290,11 +295,20 @@ func (w *walWriter) sync() error {
 	if w.f == nil {
 		return nil
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := w.timedSync(); err != nil {
 		return err
 	}
 	w.lastSync = time.Now()
 	return nil
+}
+
+// timedSync fsyncs the current file, feeding the fsync latency histogram.
+// Caller holds w.mu and has checked w.f != nil.
+func (w *walWriter) timedSync() error {
+	t := time.Now()
+	err := w.f.Sync()
+	mWALFsyncSeconds.ObserveDuration(time.Since(t))
+	return err
 }
 
 // close stops the background flusher (if any) and releases the current
