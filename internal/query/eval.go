@@ -53,6 +53,13 @@ type evalNode struct {
 	opaque   Predicate
 	kids     []*evalNode
 	t, f     []bool
+	// tw/fw are the packed truth pair of the encoded path (bit i set =
+	// definitively true / definitively false; neither = UNKNOWN), the
+	// word-wise analogue of t/f.
+	tw, fw []uint64
+	// codeSet is the encoded path's per-segment scratch: the In value
+	// set translated to a bitset over the current dictionary's codes.
+	codeSet []uint64
 }
 
 // NewEvaluator compiles the predicate. A nil predicate is an error; use
@@ -117,6 +124,16 @@ func (n *evalNode) grow(rows int) {
 		n.t[i] = false
 		n.f[i] = false
 	}
+}
+
+// growDirty is grow without the clear, for ops that overwrite every
+// slot of both buffers.
+func (n *evalNode) growDirty(rows int) {
+	if cap(n.t) < rows {
+		n.t = make([]bool, rows)
+		n.f = make([]bool, rows)
+	}
+	n.t, n.f = n.t[:rows], n.f[:rows]
 }
 
 func (n *evalNode) eval(tab *table.Table) error {

@@ -306,13 +306,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // epoch is embedded defensively even though the cache also partitions
 // by it. Attrs render via %q (each element escaped and quoted) so a
 // single element containing a comma cannot collide with a multi-element
-// list.
+// list. The preset name must participate even though the preset's
+// selection is already folded into canonical: a preset with no default
+// selection yields the same canonical predicate and attrs as the bare
+// request, yet its response embeds a preset echo — without the name in
+// the key the two requests would alias each other's cached responses.
 func (s *Server) cacheKey(epoch uint64, canonical string, attrs []string, req *queryRequest) (string, bool) {
 	if s.cache == nil {
 		return "", false
 	}
-	return fmt.Sprintf("%d\x00%s\x00%q\x00%q\x00%d\x00%d",
-		epoch, canonical, attrs, req.By, req.Limit, req.Offset), true
+	return fmt.Sprintf("%d\x00%s\x00%q\x00%q\x00%q\x00%d\x00%d",
+		epoch, canonical, req.Preset, attrs, req.By, req.Limit, req.Offset), true
 }
 
 // queryErrStatus maps predicate evaluation failures onto 400 for client

@@ -203,6 +203,57 @@ func TestQueryBadRequests(t *testing.T) {
 	}
 }
 
+// TestQueryCachePresetAndPagingDoNotAlias pins the cache-key shape. The
+// energy-scientist preset carries no default selection, so its canonical
+// predicate and (with explicit attrs) attribute list are identical to the
+// bare request's — the preset name itself must keep the two cache entries
+// apart, or one request is served the other's response (with the wrong
+// preset echo). Distinct row pages of one query must likewise never share
+// an entry.
+func TestQueryCachePresetAndPagingDoNotAlias(t *testing.T) {
+	ts := testServer(t, false)
+
+	bare := "/api/query?q=eph+%3E%3D+100&attrs=eph"
+	withPreset := bare + "&preset=energy-scientist"
+
+	_, plain, _ := getQuery(t, ts.URL+bare)
+	if plain.Preset != nil {
+		t.Fatalf("bare query has a preset echo: %+v", plain.Preset)
+	}
+	_, preset, _ := getQuery(t, ts.URL+withPreset)
+	if preset.Cached {
+		t.Fatal("preset query aliased the bare query's cache entry")
+	}
+	if preset.Preset == nil || preset.Preset.Stakeholder != "energy-scientist" {
+		t.Fatalf("preset echo = %+v", preset.Preset)
+	}
+	if preset.Matched != plain.Matched {
+		t.Fatalf("same selection, different matches: %d vs %d", preset.Matched, plain.Matched)
+	}
+	// Each form must now hit its own entry, echo intact.
+	_, plain2, _ := getQuery(t, ts.URL+bare)
+	if !plain2.Cached || plain2.Preset != nil {
+		t.Fatalf("bare re-query: cached=%v preset=%+v", plain2.Cached, plain2.Preset)
+	}
+	_, preset2, _ := getQuery(t, ts.URL+withPreset)
+	if !preset2.Cached || preset2.Preset == nil {
+		t.Fatalf("preset re-query: cached=%v preset=%+v", preset2.Cached, preset2.Preset)
+	}
+
+	// Two pages of one query are distinct cache entries with distinct rows.
+	_, page1, _ := getQuery(t, ts.URL+bare+"&limit=2&offset=0")
+	_, page2, _ := getQuery(t, ts.URL+bare+"&limit=2&offset=2")
+	if page2.Cached {
+		t.Fatal("second page aliased the first page's cache entry")
+	}
+	if len(page1.Rows) != 2 || len(page2.Rows) != 2 {
+		t.Fatalf("page sizes %d, %d", len(page1.Rows), len(page2.Rows))
+	}
+	if fmt.Sprint(page1.Rows[0]) == fmt.Sprint(page2.Rows[0]) {
+		t.Fatal("pages at different offsets returned the same rows")
+	}
+}
+
 func TestQueryLivePlansAndInvalidates(t *testing.T) {
 	ts, live, ds := liveServer(t, 1500)
 

@@ -258,7 +258,7 @@ func (s *Store) Checkpoint() (CheckpointResult, error) {
 				continue
 			}
 			rel := join(segmentsDirName, fmt.Sprintf("s%d-%016x.seg", i, s.segID.Add(1)))
-			err := s.writeSegmentFile(rel, sg.tab)
+			err := s.writeSegmentFile(rel, sg.enc)
 			if err != nil {
 				sg.mu.Unlock()
 				return res, err
@@ -342,13 +342,14 @@ func (s *Store) Checkpoint() (CheckpointResult, error) {
 	return res, nil
 }
 
-// writeSegmentFile persists one segment table and fsyncs it.
-func (s *Store) writeSegmentFile(rel string, tab *table.Table) error {
+// writeSegmentFile persists one encoded segment (binary format v2) and
+// fsyncs it.
+func (s *Store) writeSegmentFile(rel string, enc *table.Encoded) error {
 	f, err := s.fs.Create(join(s.dur.Dir, rel))
 	if err != nil {
 		return fmt.Errorf("store: segment create: %w", err)
 	}
-	if err := tab.WriteBinary(f); err != nil {
+	if err := enc.WriteBinary(f); err != nil {
 		f.Close()
 		return fmt.Errorf("store: segment write: %w", err)
 	}

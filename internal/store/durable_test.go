@@ -1,12 +1,17 @@
 package store
 
 import (
+	"bytes"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
 	"indice/internal/query"
+	"indice/internal/table"
 )
 
 // reopen closes a durable store and opens the same directory again.
@@ -297,6 +302,160 @@ func TestEvictionServesCorpusBeyondBudget(t *testing.T) {
 	ds := st.DurabilityStatus()
 	if ds.ResidentRows > int64(total/3+cfg.SegmentRows) || ds.Checkpoints != 0 {
 		t.Fatalf("status = %+v", ds)
+	}
+}
+
+// TestRecoverFromV1SegmentFiles pins backward compatibility with data
+// directories written before segment compression: checkpointed segment
+// files in the raw v1 binary format must recover (ReadEncoded re-encodes
+// them on load) with observable state identical to a store that never
+// left memory.
+func TestRecoverFromV1SegmentFiles(t *testing.T) {
+	dir := t.TempDir()
+	cfg := miniConfig(2)
+	cfg.SegmentRows = 16
+	dur := Durability{Dir: dir, MaxWALBytes: -1}
+	st, err := Open(cfg, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin, _ := New(cfg)
+	for b := 0; b < 4; b++ {
+		batch := miniBatch(t, b*20, 20, fmt.Sprintf("b%d", b))
+		if _, err := st.AppendTable(batch); err != nil {
+			t.Fatal(err)
+		}
+		twin.AppendTable(batch)
+	}
+	if _, err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite every checkpointed segment file in the v1 raw format — the
+	// byte-for-byte layout a pre-compression store left on disk.
+	segDir := filepath.Join(dir, segmentsDirName)
+	names, err := os.ReadDir(segDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewritten := 0
+	for _, de := range names {
+		path := filepath.Join(segDir, de.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, rerr := table.ReadEncoded(f)
+		f.Close()
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		out, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Decode().WriteBinary(out); err != nil {
+			t.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rewritten++
+	}
+	if rewritten == 0 {
+		t.Fatal("checkpoint produced no segment files to downgrade")
+	}
+
+	st2, err := Open(cfg, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.RecoveryInfo().CheckpointSegments != rewritten {
+		t.Fatalf("recovery = %+v, want %d segments", st2.RecoveryInfo(), rewritten)
+	}
+	assertStoresEqual(t, st2, twin)
+}
+
+// TestConcurrentReloadUnderTinyBudget pins the eviction-versus-reload
+// race for encoded segments: with a resident budget smaller than a single
+// segment, every cold load overflows the budget immediately and triggers
+// a sweep that wants to evict the very segments other goroutines are
+// loading. The TryLock sweep must skip in-use segments rather than block
+// (or deadlock against the loader), and every concurrent query must still
+// return exactly the reference rows — a reload serving a half-installed
+// encoding would corrupt results, not just slow them.
+func TestConcurrentReloadUnderTinyBudget(t *testing.T) {
+	dir := t.TempDir()
+	cfg := miniConfig(2)
+	cfg.SegmentRows = 32
+	dur := Durability{Dir: dir, MaxWALBytes: -1, MaxResidentRows: cfg.SegmentRows / 2}
+	st, err := Open(cfg, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	twin, _ := New(cfg)
+	for b := 0; b < 8; b++ {
+		batch := miniBatch(t, b*20, 20, fmt.Sprintf("b%d", b%4))
+		if _, err := st.AppendTable(batch); err != nil {
+			t.Fatal(err)
+		}
+		twin.AppendTable(batch)
+	}
+	if _, err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	pred := query.And{
+		query.In{Attr: "batch", Values: []string{"b1", "b3"}},
+		query.NumRange{Attr: "v", Min: 30, Max: 140},
+	}
+	wantTab, _, err := twin.Snapshot().Query(pred, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantBuf bytes.Buffer
+	if err := wantTab.WriteBinary(&wantBuf); err != nil {
+		t.Fatal(err)
+	}
+	want := wantBuf.Bytes()
+
+	errs := make(chan error, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				snap := st.Snapshot()
+				got, _, err := snap.Query(pred, 1+w%3)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: %v", w, err)
+					return
+				}
+				var buf bytes.Buffer
+				if err := got.WriteBinary(&buf); err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(buf.Bytes(), want) {
+					errs <- fmt.Errorf("worker %d iteration %d: result diverged under reload pressure", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if _, loads, evictions := st.ld.stats(); loads == 0 || evictions == 0 {
+		t.Fatalf("no reload pressure was generated: loads=%d evictions=%d", loads, evictions)
 	}
 }
 

@@ -2,8 +2,10 @@ package store
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
+	"indice/internal/bitmap"
 	"indice/internal/parallel"
 	"indice/internal/query"
 	"indice/internal/table"
@@ -32,9 +34,19 @@ type PlanStats struct {
 	MatchedRows int `json:"matched_rows"`
 }
 
+// shardPart is one segment's matched ordinals, resolved to whichever
+// form of the segment the shard held (exactly one of enc/raw is set).
+// Parts defer materialization: workers only select rows, and the merge
+// decodes every match once, straight into the result table.
+type shardPart struct {
+	enc  *table.Encoded
+	raw  *table.Table
+	rows []int
+}
+
 // shardResult is one shard's contribution to a query.
 type shardResult struct {
-	tab     *table.Table
+	parts   []shardPart
 	pruned  bool
 	indexed bool
 	cand    int
@@ -74,20 +86,27 @@ func (sn *Snapshot) Query(p query.Predicate, workers int) (*table.Table, PlanSta
 		mQuerySeconds.ObserveDuration(time.Since(start))
 		return tab, ps, nil
 	}
-	pushIn, pushRange := pushdown(p, sn)
+	pushIn, pushRange, residual := pushdown(p, sn)
 
 	results := parallel.Map(len(sn.segs), workers, func(i int) shardResult {
-		return sn.queryShard(i, p, pushIn, pushRange)
+		return sn.queryShard(i, p, pushIn, pushRange, residual)
 	})
 
 	out, err := table.NewWithSchema(sn.schema)
 	if err != nil {
 		return nil, ps, err
 	}
+	total := 0
 	for _, r := range results {
 		if r.err != nil {
 			return nil, ps, fmt.Errorf("store: query: %w", r.err)
 		}
+		for _, p := range r.parts {
+			total += len(p.rows)
+		}
+	}
+	out.Grow(total)
+	for _, r := range results {
 		if r.pruned {
 			ps.PrunedShards++
 		}
@@ -96,8 +115,13 @@ func (sn *Snapshot) Query(p query.Predicate, workers int) (*table.Table, PlanSta
 		}
 		ps.CandidateRows += r.cand
 		ps.ScannedRows += r.scanned
-		if r.tab != nil && r.tab.NumRows() > 0 {
-			if err := out.AppendTable(r.tab); err != nil {
+		for _, p := range r.parts {
+			if p.enc != nil {
+				err = p.enc.TakeAppend(out, p.rows)
+			} else {
+				err = out.AppendTaken(p.raw, p.rows)
+			}
+			if err != nil {
 				return nil, ps, fmt.Errorf("store: query: %w", err)
 			}
 		}
@@ -137,30 +161,47 @@ func (sn *Snapshot) FullScan(p query.Predicate) (*table.Table, error) {
 //
 // Nested Not/Or structure is never pushed; it stays in the residual
 // predicate evaluated over the candidates.
-func pushdown(p query.Predicate, sn *Snapshot) (pushIn []query.In, pushRange []query.NumRange) {
+//
+// residual is the conjunction minus the pushed In conjuncts: the index
+// postings hold exactly the valid rows carrying each value, so every
+// candidate satisfies those conjuncts definitively and only the rest
+// needs re-checking. A nil residual means candidates are matches as-is.
+// Pushed ranges stay in the residual — shard statistics prune whole
+// shards, they don't vouch for single rows.
+func pushdown(p query.Predicate, sn *Snapshot) (pushIn []query.In, pushRange []query.NumRange, residual query.Predicate) {
+	var rest []query.Predicate
 	for _, c := range flattenAnd(p, nil) {
 		switch c := c.(type) {
 		case query.In:
-			if len(c.Values) == 0 || !sn.indexed(c.Attr) {
-				continue
-			}
-			clean := true
-			for _, v := range c.Values {
-				if v == "" {
-					clean = false
-					break
+			if len(c.Values) > 0 && sn.indexed(c.Attr) {
+				clean := true
+				for _, v := range c.Values {
+					if v == "" {
+						clean = false
+						break
+					}
 				}
-			}
-			if clean {
-				pushIn = append(pushIn, c)
+				if clean {
+					pushIn = append(pushIn, c)
+					continue
+				}
 			}
 		case query.NumRange:
 			if _, ok := sn.stats[c.Attr]; ok {
 				pushRange = append(pushRange, c)
 			}
 		}
+		rest = append(rest, c)
 	}
-	return pushIn, pushRange
+	switch len(rest) {
+	case 0:
+		residual = nil
+	case 1:
+		residual = rest[0]
+	default:
+		residual = query.And(rest)
+	}
+	return pushIn, pushRange, residual
 }
 
 // flattenAnd collects the conjuncts of the predicate's AND spine,
@@ -191,19 +232,17 @@ func (sn *Snapshot) indexed(attr string) bool {
 }
 
 // queryShard evaluates the predicate over one shard, using index
-// candidates and stats pruning where the pushdown allows.
-func (sn *Snapshot) queryShard(i int, p query.Predicate, pushIn []query.In, pushRange []query.NumRange) shardResult {
+// candidates and stats pruning where the pushdown allows. residual is
+// the predicate minus the index-served conjuncts (see pushdown); the
+// full predicate p still drives the masked fallback.
+func (sn *Snapshot) queryShard(i int, p query.Predicate, pushIn []query.In, pushRange []query.NumRange, residual query.Predicate) shardResult {
 	segs := sn.segs[i]
 	rows := 0
 	for _, sg := range segs {
 		rows += sg.numRows()
 	}
-	empty := func(pruned bool) shardResult {
-		tab, err := table.NewWithSchema(sn.schema)
-		return shardResult{tab: tab, pruned: pruned && rows > 0, err: err}
-	}
 	if rows == 0 {
-		return empty(false)
+		return shardResult{}
 	}
 
 	// Welford pruning: a range conjunct no valid value of this shard can
@@ -214,77 +253,113 @@ func (sn *Snapshot) queryShard(i int, p query.Predicate, pushIn []query.In, push
 			continue
 		}
 		if rs.Count == 0 || rs.Min > r.Max || rs.Max < r.Min {
-			return empty(true)
+			return shardResult{pruned: true}
 		}
 	}
 
-	// Index candidates: intersect the postings of every pushable In.
-	var cand []int
+	// Index candidates: union the postings bitmaps of each pushable In's
+	// values, then intersect across conjuncts — all word-at-a-time bitwise
+	// ops over the frozen snapshot bitmaps, never materializing
+	// intermediate ordinal slices.
+	var candSet *bitmap.Bitmap
 	useIndex := false
 	for _, in := range pushIn {
 		byVal := sn.index[i][in.Attr]
-		var ids []int
+		var ids *bitmap.Bitmap
 		for _, v := range in.Values {
-			ids = unionSorted(ids, byVal[v])
+			ids = bitmap.Or(ids, byVal[v])
 		}
 		if !useIndex {
-			cand, useIndex = ids, true
+			candSet, useIndex = ids, true
 		} else {
-			cand = intersectSorted(cand, ids)
+			candSet = bitmap.And(candSet, ids)
 		}
-		if len(cand) == 0 {
-			return empty(true)
+		if candSet.Len() == 0 {
+			return shardResult{pruned: true}
 		}
-	}
-
-	// One compiled evaluator serves every segment scan and candidate
-	// re-check of this shard: In value sets build once and the per-node
-	// truth buffers recycle across segments, so the masked scan touches
-	// the column slices with no per-segment predicate allocations. The
-	// mask itself is bitwise-identical to p.Mask.
-	ev, err := query.NewEvaluator(p)
-	if err != nil {
-		return shardResult{err: err}
 	}
 
 	if !useIndex {
-		// Fallback: masked scan over every segment.
-		out, err := table.NewWithSchema(sn.schema)
+		// One compiled evaluator serves every segment scan of this
+		// shard: In value sets build once and the per-node truth buffers
+		// recycle across segments, so the masked scan touches the
+		// column data with no per-segment predicate allocations. The
+		// mask itself is bitwise-identical to p.Mask.
+		ev, err := query.NewEvaluator(p)
 		if err != nil {
 			return shardResult{err: err}
 		}
+		// Fallback: masked scan over every segment. Sealed segments
+		// evaluate word-at-a-time directly over their encoded columns
+		// (dictionary-code and packed-code compares on packed truth
+		// bitsets); only the raw tail copy takes the column-slice path.
+		// Workers emit match-ordinal parts, never tables — the merge
+		// decodes each matching row exactly once, so non-matching rows
+		// are never decoded or copied, and matches are copied once.
+		var parts []shardPart
 		for _, sg := range segs {
-			seg, err := sg.open(sn.ld)
+			enc, raw, err := sg.openEnc(sn.ld)
 			if err != nil {
 				return shardResult{err: err}
 			}
-			mask, err := ev.Mask(seg)
-			if err != nil {
-				return shardResult{err: err}
-			}
-			sub, err := seg.FilterMask(mask)
-			if err != nil {
-				return shardResult{err: err}
-			}
-			if sub.NumRows() > 0 {
-				if err := out.AppendTable(sub); err != nil {
+			if enc != nil {
+				words, err := ev.MaskEncodedBits(enc)
+				if err != nil {
 					return shardResult{err: err}
+				}
+				n := 0
+				for _, word := range words {
+					n += bits.OnesCount64(word)
+				}
+				if n == 0 {
+					continue
+				}
+				match := make([]int, 0, n)
+				for w, word := range words {
+					base := w << 6
+					for word != 0 {
+						match = append(match, base+bits.TrailingZeros64(word))
+						word &= word - 1
+					}
+				}
+				parts = append(parts, shardPart{enc: enc, rows: match})
+			} else {
+				mask, err := ev.Mask(raw)
+				if err != nil {
+					return shardResult{err: err}
+				}
+				var match []int
+				for r, m := range mask {
+					if m {
+						match = append(match, r)
+					}
+				}
+				if len(match) > 0 {
+					parts = append(parts, shardPart{raw: raw, rows: match})
 				}
 			}
 		}
-		return shardResult{tab: out, scanned: rows}
+		return shardResult{parts: parts, scanned: rows}
 	}
 
-	// Candidate path: materialize only the candidate ordinals (ascending,
-	// so snapshot order is preserved) and re-check the full predicate on
-	// them — the residual Not/Or/range structure evaluates on this
-	// sub-table exactly as it would row-wise on the full shard.
-	out, err := table.NewWithSchema(sn.schema)
-	if err != nil {
-		return shardResult{err: err}
+	// Candidate path: walk the candidate ordinals (ascending, so
+	// snapshot order is preserved) and re-check the residual predicate
+	// on them — the index already vouches for the pushed In conjuncts,
+	// and leftover Not/Or/range structure evaluates row-wise exactly as
+	// it would on the full shard. With no residual, candidates are
+	// matches and go out as parts unfiltered.
+	var ev *query.Evaluator
+	if residual != nil {
+		var err error
+		if ev, err = query.NewEvaluator(residual); err != nil {
+			return shardResult{err: err}
+		}
 	}
+	cand := candSet.AppendOrdinals(nil)
+	var parts []shardPart
 	base := 0
 	k := 0
+	var local []int
 	for _, sg := range segs {
 		n := sg.numRows()
 		lo := k
@@ -294,82 +369,62 @@ func (sn *Snapshot) queryShard(i int, p query.Predicate, pushIn []query.In, push
 		if k > lo {
 			// Only segments actually holding candidates are loaded — an
 			// indexed query over a mostly-cold store touches disk just for
-			// the segments its postings point into.
-			seg, err := sg.open(sn.ld)
+			// the segments its postings point into. Part slices are
+			// allocated fresh (local is per-segment scratch; parts
+			// outlive the loop).
+			enc, raw, err := sg.openEnc(sn.ld)
 			if err != nil {
 				return shardResult{err: err}
 			}
-			local := make([]int, k-lo)
+			local = local[:0]
 			for j := lo; j < k; j++ {
-				local[j-lo] = cand[j] - base
+				local = append(local, cand[j]-base)
 			}
-			sub, err := seg.Take(local)
-			if err != nil {
-				return shardResult{err: err}
-			}
-			mask, err := ev.Mask(sub)
-			if err != nil {
-				return shardResult{err: err}
-			}
-			keep, err := sub.FilterMask(mask)
-			if err != nil {
-				return shardResult{err: err}
-			}
-			if keep.NumRows() > 0 {
-				if err := out.AppendTable(keep); err != nil {
+			if ev == nil {
+				keep := make([]int, len(local))
+				copy(keep, local)
+				if enc != nil {
+					parts = append(parts, shardPart{enc: enc, rows: keep})
+				} else {
+					parts = append(parts, shardPart{raw: raw, rows: keep})
+				}
+			} else if enc != nil {
+				// Sparse re-check over the encoded columns: only the
+				// candidates that survive the residual are ever decoded.
+				mask, err := ev.MaskEncodedRows(enc, local)
+				if err != nil {
 					return shardResult{err: err}
+				}
+				var keep []int
+				for j, m := range mask {
+					if m {
+						keep = append(keep, local[j])
+					}
+				}
+				if len(keep) > 0 {
+					parts = append(parts, shardPart{enc: enc, rows: keep})
+				}
+			} else {
+				sub, err := raw.Take(local)
+				if err != nil {
+					return shardResult{err: err}
+				}
+				mask, err := ev.Mask(sub)
+				if err != nil {
+					return shardResult{err: err}
+				}
+				var keep []int
+				for j, m := range mask {
+					if m {
+						keep = append(keep, local[j])
+					}
+				}
+				if len(keep) > 0 {
+					parts = append(parts, shardPart{raw: raw, rows: keep})
 				}
 			}
 		}
 		base += n
 	}
-	return shardResult{tab: out, indexed: true, cand: len(cand)}
-}
-
-// unionSorted merges two ascending int slices without duplicates.
-func unionSorted(a, b []int) []int {
-	if len(a) == 0 {
-		return append([]int(nil), b...)
-	}
-	if len(b) == 0 {
-		return a
-	}
-	out := make([]int, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			out = append(out, a[i])
-			i++
-		case a[i] > b[j]:
-			out = append(out, b[j])
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
-}
-
-// intersectSorted intersects two ascending int slices.
-func intersectSorted(a, b []int) []int {
-	out := a[:0]
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	return out
+	return shardResult{parts: parts, indexed: true, cand: len(cand)}
 }

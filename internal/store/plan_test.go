@@ -30,8 +30,11 @@ func planConfig(shards int) Config {
 	}
 }
 
-// planBatch builds n rows with zones Z0..Z4, classes A..C, v in [0, 100)
-// with every 7th cell invalid, w in [-50, 50).
+// planBatch builds n rows exercising every encoding and Kleene edge the
+// sealed segments must round-trip: duplicate-heavy zones Z0..Z4 (every
+// 11th cell NULL), classes A..C with valid empty-string cells mixed in,
+// v in [0, 100) with every 7th cell invalid (canonical NaN), w in
+// [-50, 50) with every 9th cell invalid.
 func planBatch(t testing.TB, rng *rand.Rand, base, n int) *table.Table {
 	t.Helper()
 	tab, err := table.NewWithSchema(planConfig(1).Schema)
@@ -43,12 +46,24 @@ func planBatch(t testing.TB, rng *rand.Rand, base, n int) *table.Table {
 		if (base+i)%7 == 0 {
 			v = table.Cell{Float: math.NaN()}
 		}
+		zone := table.Cell{Str: fmt.Sprintf("Z%d", rng.Intn(5)), Valid: true}
+		if (base+i)%11 == 0 {
+			zone = table.Cell{}
+		}
+		class := table.Cell{Str: string(rune('A' + rng.Intn(3))), Valid: true}
+		if (base+i)%13 == 0 {
+			class = table.Cell{Str: "", Valid: true}
+		}
+		w := table.Cell{Float: rng.Float64()*100 - 50, Valid: true}
+		if (base+i)%9 == 0 {
+			w = table.Cell{Float: math.NaN()}
+		}
 		if err := tab.AppendRow([]table.Cell{
 			{Str: fmt.Sprintf("id-%06d", base+i), Valid: true},
-			{Str: fmt.Sprintf("Z%d", rng.Intn(5)), Valid: true},
-			{Str: string(rune('A' + rng.Intn(3))), Valid: true},
+			zone,
+			class,
 			v,
-			{Float: rng.Float64()*100 - 50, Valid: true},
+			w,
 		}); err != nil {
 			t.Fatal(err)
 		}
@@ -131,6 +146,11 @@ func randPredicate(rng *rand.Rand, depth int) query.Predicate {
 		vals = append(vals, "Z0")
 		return query.In{Attr: "zone", Values: vals}
 	case 2:
+		if rng.Intn(4) == 0 {
+			// Empty-string sets cannot use the index (it skips "") and
+			// must still match the valid-empty cells exactly.
+			return query.In{Attr: "class", Values: []string{"", "B"}}
+		}
 		return query.In{Attr: "class", Values: []string{string(rune('A' + rng.Intn(4)))}}
 	case 3:
 		lo := rng.Float64()*120 - 10
@@ -166,7 +186,7 @@ func TestQueryMatchesFullScanRandomized(t *testing.T) {
 				if err != nil {
 					t.Fatalf("trial %d (%s): full scan: %v", trial, p, err)
 				}
-				for _, workers := range []int{1, 3} {
+				for _, workers := range []int{1, 4} {
 					got, _, err := snap.Query(p, workers)
 					if err != nil {
 						t.Fatalf("trial %d (%s): query: %v", trial, p, err)

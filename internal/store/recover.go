@@ -119,7 +119,10 @@ func (s *Store) adoptCheckpoint(m *manifest, rec *RecoveryInfo) error {
 			if err != nil {
 				return fmt.Errorf("store: checkpoint segment %s: %w", ms.File, err)
 			}
-			tab, rerr := table.ReadBinary(f)
+			// ReadEncoded accepts both the current encoded format (v2) and
+			// v1 files from checkpoints written before segment compression,
+			// so old data directories recover without conversion.
+			enc, rerr := table.ReadEncoded(f)
 			cerr := f.Close()
 			if rerr != nil {
 				return fmt.Errorf("store: checkpoint segment %s: %w", ms.File, rerr)
@@ -127,13 +130,13 @@ func (s *Store) adoptCheckpoint(m *manifest, rec *RecoveryInfo) error {
 			if cerr != nil {
 				return fmt.Errorf("store: checkpoint segment %s: %w", ms.File, cerr)
 			}
-			if tab.NumRows() != ms.Rows {
-				return fmt.Errorf("store: checkpoint segment %s has %d rows, manifest says %d", ms.File, tab.NumRows(), ms.Rows)
+			if enc.NumRows() != ms.Rows {
+				return fmt.Errorf("store: checkpoint segment %s has %d rows, manifest says %d", ms.File, enc.NumRows(), ms.Rows)
 			}
-			if !tab.SchemaMatches(s.schema) {
+			if !schemaEqual(enc.Schema(), s.schema) {
 				return fmt.Errorf("store: checkpoint segment %s does not match the store schema", ms.File)
 			}
-			sg := sh.adopt(tab, ms.File, &s.cfg)
+			sg := sh.adopt(enc, ms.File, &s.cfg)
 			s.ld.register(sg)
 			s.ld.requestSweep()
 			rec.CheckpointRows += ms.Rows
@@ -141,6 +144,20 @@ func (s *Store) adoptCheckpoint(m *manifest, rec *RecoveryInfo) error {
 		}
 	}
 	return nil
+}
+
+// schemaEqual reports whether two column layouts match in names, types
+// and order.
+func schemaEqual(a, b []table.Field) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Type != b[i].Type {
+			return false
+		}
+	}
+	return true
 }
 
 // replayWAL applies every log record with seq > applied, in order. A

@@ -9,19 +9,23 @@ import (
 	"indice/internal/table"
 )
 
-// segment is one immutable sealed chunk of a shard. Its row content never
-// changes after sealing, but its residency does: once a checkpoint has
-// persisted the segment to disk (path != ""), the in-memory table may be
-// evicted and lazily reloaded on demand, so the corpus can exceed RAM.
-// Snapshots share segment pointers with the store; a reader holding a
-// loaded *table.Table keeps using it safely after an eviction (the table
+// segment is one immutable sealed chunk of a shard. Sealed segments hold
+// their rows in the compressed encoded form (dictionary / bit-packed
+// columns); only the snapshot-private tail copies — small, bounded by
+// SegmentRows, never persisted — stay raw. Row content never changes
+// after sealing, but residency does: once a checkpoint has persisted the
+// segment to disk (path != ""), the in-memory encoding may be evicted
+// and lazily reloaded on demand, so the corpus can exceed RAM. Snapshots
+// share segment pointers with the store; a reader holding a loaded
+// *table.Encoded keeps using it safely after an eviction (the encoding
 // itself is immutable — eviction only drops the cache reference).
 type segment struct {
 	rows int
 	path string // on-disk file (relative to the data dir), "" while hot-only
 
 	mu  sync.Mutex
-	tab *table.Table // nil while evicted
+	enc *table.Encoded // sealed content, nil while evicted
+	tab *table.Table   // raw content of snapshot-private tail copies
 
 	lastUse atomic.Int64 // loader clock at last access
 }
@@ -29,64 +33,85 @@ type segment struct {
 // numRows returns the segment's row count without loading it.
 func (sg *segment) numRows() int { return sg.rows }
 
-// resident reports whether the segment's table is in memory.
+// resident reports whether the segment's content is in memory.
 func (sg *segment) resident() bool {
 	sg.mu.Lock()
 	defer sg.mu.Unlock()
-	return sg.tab != nil
+	return sg.enc != nil || sg.tab != nil
 }
 
-// open returns the segment's table, reading it back from disk when
-// evicted. ld may be nil for stores without a persistence layer (then the
-// table is always resident). The budget sweep runs only after sg.mu is
-// released — a sweep locks candidate segments, so triggering it while
-// holding this segment's own mutex could self-deadlock.
+// open returns the segment's rows as a decoded table, reading the
+// encoding back from disk when evicted. Paths that can work over the
+// encoded form directly (the planner) use openEnc instead; open is for
+// consumers that need raw columns (materialization, deltas). The decoded
+// table is freshly built per call for encoded segments — callers cache
+// it (Snapshot.Table does) rather than re-opening per row.
 func (sg *segment) open(ld *segLoader) (*table.Table, error) {
-	tab, loaded, err := sg.load(ld)
+	enc, tab, err := sg.openEnc(ld)
 	if err != nil {
 		return nil, err
+	}
+	if tab != nil {
+		return tab, nil
+	}
+	return enc.Decode(), nil
+}
+
+// openEnc returns the segment's content in its natural representation:
+// exactly one of enc (sealed, compressed) or tab (raw tail copy) is
+// non-nil. Evicted segments are read back from disk. The budget sweep
+// runs only after sg.mu is released — a sweep locks candidate segments,
+// so triggering it while holding this segment's own mutex could
+// self-deadlock.
+func (sg *segment) openEnc(ld *segLoader) (*table.Encoded, *table.Table, error) {
+	enc, tab, loaded, err := sg.load(ld)
+	if err != nil {
+		return nil, nil, err
 	}
 	if loaded {
 		ld.requestSweep()
 	}
-	return tab, nil
+	return enc, tab, nil
 }
 
-// load does the locked part of open, reporting whether it pulled the
-// table in from disk (in which case the caller enforces the budget).
-func (sg *segment) load(ld *segLoader) (*table.Table, bool, error) {
+// load does the locked part of openEnc, reporting whether it pulled the
+// encoding in from disk (in which case the caller enforces the budget).
+func (sg *segment) load(ld *segLoader) (*table.Encoded, *table.Table, bool, error) {
 	sg.mu.Lock()
 	defer sg.mu.Unlock()
 	if ld != nil {
 		sg.lastUse.Store(ld.clock.Add(1))
 	}
+	if sg.enc != nil {
+		return sg.enc, nil, false, nil
+	}
 	if sg.tab != nil {
-		return sg.tab, false, nil
+		return nil, sg.tab, false, nil
 	}
 	if ld == nil || sg.path == "" {
-		return nil, false, fmt.Errorf("store: segment evicted with no backing file")
+		return nil, nil, false, fmt.Errorf("store: segment evicted with no backing file")
 	}
 	f, err := ld.fs.Open(join(ld.dir, sg.path))
 	if err != nil {
-		return nil, false, fmt.Errorf("store: reloading segment %s: %w", sg.path, err)
+		return nil, nil, false, fmt.Errorf("store: reloading segment %s: %w", sg.path, err)
 	}
-	tab, rerr := table.ReadBinary(f)
+	enc, rerr := table.ReadEncoded(f)
 	cerr := f.Close()
 	if rerr != nil {
-		return nil, false, fmt.Errorf("store: reloading segment %s: %w", sg.path, rerr)
+		return nil, nil, false, fmt.Errorf("store: reloading segment %s: %w", sg.path, rerr)
 	}
 	if cerr != nil {
-		return nil, false, fmt.Errorf("store: reloading segment %s: %w", sg.path, cerr)
+		return nil, nil, false, fmt.Errorf("store: reloading segment %s: %w", sg.path, cerr)
 	}
-	if tab.NumRows() != sg.rows {
-		return nil, false, fmt.Errorf("store: segment %s has %d rows on disk, expected %d", sg.path, tab.NumRows(), sg.rows)
+	if enc.NumRows() != sg.rows {
+		return nil, nil, false, fmt.Errorf("store: segment %s has %d rows on disk, expected %d", sg.path, enc.NumRows(), sg.rows)
 	}
-	sg.tab = tab
+	sg.enc = enc
 	ld.residentRows.Add(int64(sg.rows))
 	ld.loads.Add(1)
 	mSegLoads.Inc()
 	mResidentRows.Set(float64(ld.residentRows.Load()))
-	return tab, true, nil
+	return enc, nil, true, nil
 }
 
 // segLoader is the shared residency manager of a durable store: it reads
@@ -166,8 +191,8 @@ func (ld *segLoader) requestSweep() {
 		if !sg.mu.TryLock() {
 			continue
 		}
-		if sg.tab != nil {
-			sg.tab = nil
+		if sg.enc != nil {
+			sg.enc = nil
 			ld.residentRows.Add(-int64(sg.rows))
 			ld.evictions.Add(1)
 			mSegEvictions.Inc()

@@ -3,6 +3,7 @@ package store
 import (
 	"sync"
 
+	"indice/internal/bitmap"
 	"indice/internal/stats"
 	"indice/internal/table"
 )
@@ -29,11 +30,12 @@ type Snapshot struct {
 	// locate a baseline without reaching back into the store.
 	shardRows []int
 	history   []epochRows
-	// index[i] holds shard i's secondary-index headers at snapshot time.
-	// The slices are append-only on the store side, so sharing the
-	// headers is safe: a later append grows the store's copy, never the
-	// rows this header can see.
-	index []map[string]map[string][]int
+	// index[i] holds shard i's secondary-index postings at snapshot time,
+	// as frozen bitmaps. Freezing is copy-on-write: all but the one
+	// container a later append may still touch are shared with the store,
+	// so a later append grows the store's bitmap, never the rows this
+	// frozen view can see.
+	index []map[string]map[string]*bitmap.Bitmap
 	// stats holds the merged per-attribute summaries; shardStats the
 	// per-shard view the query planner prunes shards with.
 	stats      map[string]stats.Running
@@ -62,7 +64,7 @@ func (s *Store) Snapshot() *Snapshot {
 		segs:       make([][]*segment, len(s.shards)),
 		ld:         s.ld,
 		shardRows:  make([]int, len(s.shards)),
-		index:      make([]map[string]map[string][]int, len(s.shards)),
+		index:      make([]map[string]map[string]*bitmap.Bitmap, len(s.shards)),
 		stats:      make(map[string]stats.Running, len(s.cfg.StatsAttrs)),
 		shardStats: make([]map[string]stats.Running, len(s.shards)),
 	}
@@ -79,11 +81,11 @@ func (s *Store) Snapshot() *Snapshot {
 		snap.shardRows[i] = sh.rows
 		snap.rows += sh.rows
 
-		idx := make(map[string]map[string][]int, len(sh.index))
+		idx := make(map[string]map[string]*bitmap.Bitmap, len(sh.index))
 		for attr, byVal := range sh.index {
-			vals := make(map[string][]int, len(byVal))
-			for v, ids := range byVal {
-				vals[v] = ids[:len(ids):len(ids)]
+			vals := make(map[string]*bitmap.Bitmap, len(byVal))
+			for v, b := range byVal {
+				vals[v] = b.Freeze()
 			}
 			idx[attr] = vals
 		}
@@ -178,8 +180,8 @@ func (sn *Snapshot) CountBy(attr string) (map[string]int, bool) {
 	}
 	out := make(map[string]int)
 	for _, idx := range sn.index {
-		for v, ids := range idx[attr] {
-			out[v] += len(ids)
+		for v, b := range idx[attr] {
+			out[v] += b.Len()
 		}
 	}
 	return out, true

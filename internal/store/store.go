@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"indice/internal/bitmap"
 	"indice/internal/epc"
 	"indice/internal/stats"
 	"indice/internal/table"
@@ -84,8 +85,10 @@ type shard struct {
 	sealed []*segment
 	tail   *table.Table
 	rows   int
-	// index maps attr -> value -> shard-local row ordinals (ascending).
-	index map[string]map[string][]int
+	// index maps attr -> value -> bitmap of shard-local row ordinals.
+	// Rows only ever append, so ordinals arrive strictly ascending and the
+	// bitmaps grow in place; Snapshot freezes copy-on-write views.
+	index map[string]map[string]*bitmap.Bitmap
 	// stats maps numeric attr -> running summary over all shard rows.
 	stats map[string]*stats.Running
 }
@@ -242,11 +245,11 @@ func New(cfg Config) (*Store, error) {
 		}
 		sh := &shard{
 			tail:  tail,
-			index: make(map[string]map[string][]int, len(cfg.IndexAttrs)),
+			index: make(map[string]map[string]*bitmap.Bitmap, len(cfg.IndexAttrs)),
 			stats: make(map[string]*stats.Running, len(cfg.StatsAttrs)),
 		}
 		for _, a := range cfg.IndexAttrs {
-			sh.index[a] = make(map[string][]int)
+			sh.index[a] = make(map[string]*bitmap.Bitmap)
 		}
 		for _, a := range cfg.StatsAttrs {
 			sh.stats[a] = &stats.Running{}
@@ -494,7 +497,12 @@ func (sh *shard) append(part *table.Table, cfg *Config) {
 		byVal := sh.index[attr]
 		for i, v := range vals {
 			if valid[i] && v != "" {
-				byVal[v] = append(byVal[v], base+i)
+				b := byVal[v]
+				if b == nil {
+					b = bitmap.New()
+					byVal[v] = b
+				}
+				b.Add(uint32(base + i))
 			}
 		}
 	}
@@ -514,13 +522,15 @@ func (sh *shard) append(part *table.Table, cfg *Config) {
 	}
 }
 
-// seal moves the tail into the immutable segment list and starts a fresh
-// tail. Caller holds sh.mu.
+// seal compresses the tail into an immutable encoded segment and starts a
+// fresh tail. Caller holds sh.mu. Encoding is bitwise lossless (Encode
+// falls back to raw layouts per column when a round trip wouldn't be
+// exact), so sealed segments answer queries identically to the raw rows.
 func (sh *shard) seal(cfg *Config) {
 	if sh.tail.NumRows() == 0 {
 		return
 	}
-	sh.sealed = append(sh.sealed, &segment{rows: sh.tail.NumRows(), tab: sh.tail})
+	sh.sealed = append(sh.sealed, &segment{rows: sh.tail.NumRows(), enc: table.Encode(sh.tail)})
 	tail, err := table.NewWithSchema(cfg.Schema)
 	if err != nil {
 		panic(fmt.Sprintf("store: reseal: %v", err))
@@ -528,38 +538,54 @@ func (sh *shard) seal(cfg *Config) {
 	sh.tail = tail
 }
 
-// adopt installs an already-sealed segment (a checkpointed table loaded at
-// recovery) at the end of the shard, updating indexes and statistics from
-// its rows. Caller holds the store lock during recovery; shard locking is
-// still taken for uniformity.
-func (sh *shard) adopt(tab *table.Table, path string, cfg *Config) *segment {
+// adopt installs an already-sealed segment (a checkpointed encoding loaded
+// at recovery) at the end of the shard, updating indexes and statistics
+// from its rows via the encoded accessors — the segment is never decoded.
+// Caller holds the store lock during recovery; shard locking is still
+// taken for uniformity.
+func (sh *shard) adopt(enc *table.Encoded, path string, cfg *Config) *segment {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	base := sh.rows
+	rows := enc.NumRows()
 	for _, attr := range cfg.IndexAttrs {
-		vals, _ := tab.Strings(attr)
-		valid, _ := tab.ValidMask(attr)
+		c := enc.Column(attr)
+		if c == nil || c.Type() != table.String {
+			continue
+		}
 		byVal := sh.index[attr]
-		for i, v := range vals {
-			if valid[i] && v != "" {
-				byVal[v] = append(byVal[v], base+i)
+		for i := 0; i < rows; i++ {
+			if !c.ValidAt(i) {
+				continue
 			}
+			v := c.StringAt(i)
+			if v == "" {
+				continue
+			}
+			b := byVal[v]
+			if b == nil {
+				b = bitmap.New()
+				byVal[v] = b
+			}
+			b.Add(uint32(base + i))
 		}
 	}
 	for _, attr := range cfg.StatsAttrs {
-		vals, _ := tab.Floats(attr)
-		valid, _ := tab.ValidMask(attr)
+		c := enc.Column(attr)
+		if c == nil || c.Type() != table.Float64 {
+			continue
+		}
 		acc := sh.stats[attr]
-		for i, v := range vals {
-			if valid[i] {
-				acc.Add(v)
+		for i := 0; i < rows; i++ {
+			if c.ValidAt(i) {
+				acc.Add(c.FloatAt(i))
 			}
 		}
 	}
-	sg := &segment{rows: tab.NumRows(), tab: tab, path: path}
+	sg := &segment{rows: rows, enc: enc, path: path}
 	sh.sealed = append(sh.sealed, sg)
-	sh.rows += tab.NumRows()
-	mStoreRows.Add(float64(tab.NumRows()))
+	sh.rows += rows
+	mStoreRows.Add(float64(rows))
 	return sg
 }
 
@@ -614,8 +640,8 @@ func (s *Store) CountBy(attr string) (map[string]int, bool) {
 		sh.mu.Lock()
 		if byVal, ok := sh.index[attr]; ok {
 			found = true
-			for v, ids := range byVal {
-				out[v] += len(ids)
+			for v, b := range byVal {
+				out[v] += b.Len()
 			}
 		}
 		sh.mu.Unlock()

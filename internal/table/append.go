@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 )
 
 // Row-growth support for the streaming store: tables can be created empty
@@ -130,6 +131,58 @@ func (t *Table) AppendTable(o *Table) error {
 		c.Valid = append(c.Valid, oc.Valid...)
 	}
 	t.rows += o.rows
+	return nil
+}
+
+// Grow reserves capacity for at least n additional rows in every
+// column, so a following sequence of appends reallocates at most once.
+func (t *Table) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	for _, c := range t.cols {
+		if c.Typ == Float64 {
+			c.Floats = slices.Grow(c.Floats, n)
+		} else {
+			c.Strs = slices.Grow(c.Strs, n)
+		}
+		c.Valid = slices.Grow(c.Valid, n)
+	}
+}
+
+// AppendTaken appends the given rows of o, in order — the single-copy
+// form of Take + AppendTable. The schemas must be identical; on mismatch
+// or an out-of-range row t is unchanged.
+func (t *Table) AppendTaken(o *Table, rows []int) error {
+	if !t.SchemaEquals(o) {
+		return fmt.Errorf("table: appending table with mismatched schema (%d cols vs %d)",
+			o.NumCols(), t.NumCols())
+	}
+	for _, r := range rows {
+		if r < 0 || r >= o.rows {
+			return fmt.Errorf("table: row %d out of range [0,%d)", r, o.rows)
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	t.Grow(len(rows))
+	for i, c := range t.cols {
+		oc := o.cols[i]
+		if c.Typ == Float64 {
+			for _, r := range rows {
+				c.Floats = append(c.Floats, oc.Floats[r])
+			}
+		} else {
+			for _, r := range rows {
+				c.Strs = append(c.Strs, oc.Strs[r])
+			}
+		}
+		for _, r := range rows {
+			c.Valid = append(c.Valid, oc.Valid[r])
+		}
+	}
+	t.rows += len(rows)
 	return nil
 }
 

@@ -100,41 +100,54 @@ var binChunkPool = sync.Pool{New: func() any {
 	return &b
 }}
 
-// ReadBinary parses a table from the binary columnar format.
-func ReadBinary(r io.Reader) (*Table, error) {
-	chunkp := binChunkPool.Get().(*[]byte)
-	chunk := *chunkp
-	defer binChunkPool.Put(chunkp)
-	br := bufio.NewReader(r)
+// readBinaryHeader consumes the shared "INDT"+version+rows+cols prefix
+// of every binary version and applies the hostile-header bounds.
+func readBinaryHeader(br *bufio.Reader) (version uint16, rows, cols uint32, err error) {
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("table: reading binary magic: %w", err)
+		return 0, 0, 0, fmt.Errorf("table: reading binary magic: %w", err)
 	}
 	if string(magic) != binaryMagic {
-		return nil, fmt.Errorf("table: bad magic %q", magic)
+		return 0, 0, 0, fmt.Errorf("table: bad magic %q", magic)
 	}
-	version, err := readU16(br)
+	if version, err = readU16(br); err != nil {
+		return 0, 0, 0, err
+	}
+	if rows, err = readU32(br); err != nil {
+		return 0, 0, 0, err
+	}
+	if cols, err = readU32(br); err != nil {
+		return 0, 0, 0, err
+	}
+	// Sanity bound: a column header needs ≥ 3 bytes.
+	if cols > 1<<20 {
+		return 0, 0, 0, fmt.Errorf("table: implausible column count %d", cols)
+	}
+	if rows > maxBinaryRows {
+		return 0, 0, 0, fmt.Errorf("table: implausible row count %d", rows)
+	}
+	return version, rows, cols, nil
+}
+
+// ReadBinary parses a table from the v1 binary columnar format (the
+// ingest wire and WAL batch format).
+func ReadBinary(r io.Reader) (*Table, error) {
+	br := bufio.NewReader(r)
+	version, rows, cols, err := readBinaryHeader(br)
 	if err != nil {
 		return nil, err
 	}
 	if version != binaryVersion {
 		return nil, fmt.Errorf("table: unsupported binary version %d", version)
 	}
-	rows, err := readU32(br)
-	if err != nil {
-		return nil, err
-	}
-	cols, err := readU32(br)
-	if err != nil {
-		return nil, err
-	}
-	// Sanity bound: a column header needs ≥ 3 bytes.
-	if cols > 1<<20 {
-		return nil, fmt.Errorf("table: implausible column count %d", cols)
-	}
-	if rows > maxBinaryRows {
-		return nil, fmt.Errorf("table: implausible row count %d", rows)
-	}
+	return readBinaryV1Body(br, rows, cols)
+}
+
+// readBinaryV1Body parses the column payloads of the v1 format.
+func readBinaryV1Body(br *bufio.Reader, rows, cols uint32) (*Table, error) {
+	chunkp := binChunkPool.Get().(*[]byte)
+	chunk := *chunkp
+	defer binChunkPool.Put(chunkp)
 
 	t := New()
 	for ci := uint32(0); ci < cols; ci++ {
