@@ -9,10 +9,19 @@
 //
 //	epcgen -n 100000 -stream http://localhost:8080/api/ingest \
 //	       -batch 2000 -stream-interval 100ms
+//
+// Query-load mode turns epcgen into a closed-loop HTTP load generator:
+// N client goroutines each issue /api/query requests back-to-back
+// against a server or coordinator for a fixed duration, and the summary
+// reports aggregate QPS with latency quantiles (JSON on stdout, for
+// bench harnesses):
+//
+//	epcgen -load http://localhost:8090 -clients 1000 -duration 30s
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
@@ -21,6 +30,8 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"indice/internal/obs"
@@ -41,8 +52,19 @@ func main() {
 		batchSize      = flag.Int("batch", 2000, "rows per ingestion batch when -stream is set")
 		streamInterval = flag.Duration("stream-interval", 0, "pause between ingestion batches when -stream is set")
 		crashAfter     = flag.Int("crash-after", 0, "with -stream: exit abruptly (no summary, status 7) after this many acked batches — the crash-recovery e2e driver")
+
+		load     = flag.String("load", "", "closed-loop query load: base URL of a server or coordinator (e.g. http://localhost:8090)")
+		clients  = flag.Int("clients", 100, "with -load: concurrent closed-loop clients")
+		duration = flag.Duration("duration", 10*time.Second, "with -load: how long to drive the load")
 	)
 	flag.Parse()
+
+	if *load != "" {
+		if err := loadTest(*load, *clients, *duration); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	city, err := synth.GenerateCity(synth.CityConfig{
 		Name: "Torino", Seed: *seed, Streets: 240, CivicsPerStreet: 50,
@@ -199,6 +221,112 @@ func streamTo(url string, tab *table.Table, batchSize int, pause time.Duration, 
 // quantDur renders one latency quantile of the batch histogram.
 func quantDur(s obs.HistSnapshot, q float64) time.Duration {
 	return time.Duration(s.Quantile(q)).Round(10 * time.Microsecond)
+}
+
+// loadResult is the machine-readable summary of one closed-loop run,
+// printed as one JSON object on stdout (the human summary goes to
+// stderr) so bench harnesses can collect it directly.
+type loadResult struct {
+	URL             string  `json:"url"`
+	Clients         int     `json:"clients"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Requests        uint64  `json:"requests"`
+	Errors          uint64  `json:"errors"`
+	QPS             float64 `json:"qps"`
+	P50Millis       float64 `json:"p50_ms"`
+	P90Millis       float64 `json:"p90_ms"`
+	P99Millis       float64 `json:"p99_ms"`
+	MaxMillis       float64 `json:"max_ms"`
+}
+
+// loadTest drives a closed loop: each client goroutine issues one query
+// after another (no pacing — the next request starts when the previous
+// answer lands), rotating over a small mix of stakeholder-preset
+// queries that exercise predicate selection, grouped statistics and row
+// pages. Latency lands in a shared lock-free histogram; non-200 answers
+// and transport errors count as errors and do not pollute the latency
+// distribution.
+func loadTest(base string, clients int, duration time.Duration) error {
+	if clients < 1 {
+		return fmt.Errorf("%d clients", clients)
+	}
+	paths := []string{
+		"/api/query?preset=public-administration&by=district",
+		"/api/query?preset=citizen&limit=100",
+		"/api/query?preset=energy-scientist&by=energy_class",
+		"/api/query?attrs=eph&by=energy_class&limit=50",
+	}
+	tr := &http.Transport{
+		MaxIdleConns:        clients * 2,
+		MaxIdleConnsPerHost: clients * 2,
+	}
+	client := &http.Client{Transport: tr, Timeout: 30 * time.Second}
+	lat := obs.NewHistogram()
+	var okCount, errCount atomic.Uint64
+
+	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := i; ctx.Err() == nil; j++ {
+				reqStart := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+paths[j%len(paths)], nil)
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					errCount.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCount.Add(1)
+					continue
+				}
+				lat.ObserveDuration(time.Since(reqStart))
+				okCount.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	s := lat.Load()
+	ms := func(q float64) float64 { return s.Quantile(q) / 1e6 }
+	res := loadResult{
+		URL:             base,
+		Clients:         clients,
+		DurationSeconds: elapsed.Seconds(),
+		Requests:        okCount.Load(),
+		Errors:          errCount.Load(),
+		QPS:             float64(okCount.Load()) / elapsed.Seconds(),
+		P50Millis:       ms(0.50),
+		P90Millis:       ms(0.90),
+		P99Millis:       ms(0.99),
+		MaxMillis:       float64(s.Max) / 1e6,
+	}
+	fmt.Fprintf(os.Stderr, "%d clients x %v against %s: %d ok, %d errors, %.0f qps, p50=%v p99=%v\n",
+		clients, duration, base, res.Requests, res.Errors, res.QPS,
+		quantDur(s, 0.50), quantDur(s, 0.99))
+	out, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	if res.Requests == 0 {
+		return fmt.Errorf("no request succeeded")
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -21,6 +21,19 @@
 // Routes: / (navigation), /dashboard/{stakeholder}, /map?level=&attr=,
 // /api/{stats,zones,rules,clusters,health} and the Prometheus /metrics
 // exposition; live mode adds /api/{ingest,refresh,store}.
+//
+// Scale-out serving splits the load over processes with -role. A leader
+// is a live server that additionally streams its sealed segments to
+// replicas; replicas pull, serve reads, and answer epoch-pinned partial
+// queries; a coordinator fans /api/query out over the replicas and
+// merges the partials at one common epoch:
+//
+//	indice-server -ingest -role leader -addr :8080
+//	indice-server -role replica -leader http://localhost:8080 -addr :8081
+//	indice-server -role coordinator -replicas http://localhost:8081,http://localhost:8082 -addr :8090
+//
+// All roles expose GET /api/ready (503 until the process can serve
+// correct data) next to the always-200 /api/health report.
 package main
 
 import (
@@ -34,6 +47,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,6 +58,7 @@ import (
 	"indice/internal/obs"
 	"indice/internal/parallel"
 	"indice/internal/query"
+	"indice/internal/scaleout"
 	"indice/internal/server"
 	"indice/internal/store"
 	"indice/internal/synth"
@@ -67,6 +82,14 @@ func main() {
 		fsyncMode       = flag.String("fsync", "always", "live mode WAL flush policy with -data-dir: always, interval or off")
 		residentRows    = flag.Int("max-resident-rows", 0, "live mode with -data-dir: evict checkpointed segments beyond this many resident rows (0 = keep all in memory)")
 		pprofAddr       = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling (default)")
+
+		role           = flag.String("role", "", "scale-out role: leader, replica or coordinator (empty = single node)")
+		leaderURL      = flag.String("leader", "", "replica: the leader's base URL (http://host:port)")
+		replicaList    = flag.String("replicas", "", "coordinator: comma-separated replica base URLs")
+		syncInterval   = flag.Duration("sync-interval", time.Second, "replica: leader poll interval")
+		readyMaxLag    = flag.Uint64("ready-max-lag", 0, "replica: /api/ready answers 503 while more than this many epochs behind the leader")
+		hedgeAfter     = flag.Duration("hedge-after", 250*time.Millisecond, "coordinator: hedge a slow shard-range leg to the next replica after this long")
+		replicaTimeout = flag.Duration("replica-timeout", 5*time.Second, "coordinator: per-replica request timeout")
 	)
 	flag.Parse()
 	workers := *par
@@ -79,7 +102,9 @@ func main() {
 		hier *geo.Hierarchy
 		opts core.Options
 	)
-	wantSeed := *epcsPath != "" || *n > 0
+	// Replicas get their rows from the leader and coordinators hold no
+	// data, so neither seeds a local corpus.
+	wantSeed := (*epcsPath != "" || *n > 0) && *role != "replica" && *role != "coordinator"
 	if *epcsPath == "" {
 		city, err := synth.GenerateCity(synth.DefaultCityConfig())
 		if err != nil {
@@ -158,11 +183,40 @@ func main() {
 
 	var handler http.Handler
 	closeStore := func() error { return nil }
-	if *ingest {
+	// postDrain runs after the HTTP server has drained its in-flight
+	// requests and before the store closes: the coordinator's replica
+	// clients and the replica's pull loop stop here, so a request being
+	// drained never races a client that was torn down under it.
+	postDrain := func() {}
+	switch *role {
+	case "":
+		if *ingest {
+			handler, closeStore = buildLive(ctx, tab, hier, opts, workers, *kMax, *shards, *validate,
+				*refreshInterval, *dataDir, *fsyncMode, *residentRows, false)
+		} else {
+			handler = buildStatic(tab, hier, opts, workers, *kMax, *use)
+		}
+	case "leader":
+		// A leader is a live server (the ingest endpoint feeds it) that
+		// additionally streams segments to replicas.
 		handler, closeStore = buildLive(ctx, tab, hier, opts, workers, *kMax, *shards, *validate,
-			*refreshInterval, *dataDir, *fsyncMode, *residentRows)
-	} else {
-		handler = buildStatic(tab, hier, opts, workers, *kMax, *use)
+			*refreshInterval, *dataDir, *fsyncMode, *residentRows, true)
+	case "replica":
+		if *leaderURL == "" {
+			log.Fatal("-role replica requires -leader URL")
+		}
+		if *dataDir != "" {
+			log.Fatal("-role replica keeps its store in memory (it re-syncs from the leader on boot); drop -data-dir")
+		}
+		handler, closeStore, postDrain = buildReplica(ctx, hier, opts, workers, *kMax,
+			*refreshInterval, *leaderURL, *syncInterval, *readyMaxLag)
+	case "coordinator":
+		if *replicaList == "" {
+			log.Fatal("-role coordinator requires -replicas URL,URL,...")
+		}
+		handler, postDrain = buildCoordinator(*replicaList, *replicaTimeout, *hedgeAfter)
+	default:
+		log.Fatalf("unknown -role %q (want leader, replica or coordinator)", *role)
 	}
 
 	srv := &http.Server{
@@ -189,9 +243,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "signal received, draining connections")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
+		// Ordering matters: stop accepting and drain in-flight requests
+		// first (a coordinator's fan-outs run on request contexts and
+		// complete here), only then stop the cluster clients and close
+		// the store.
 		if err := srv.Shutdown(shutCtx); err != nil {
 			log.Fatalf("shutdown: %v", err)
 		}
+		postDrain()
 		if err := closeStore(); err != nil {
 			log.Fatalf("store close: %v", err)
 		}
@@ -240,7 +299,7 @@ func buildStatic(tab *table.Table, hier *geo.Hierarchy, opts core.Options, worke
 // hits the WAL — and the returned closer flushes it on shutdown.
 func buildLive(ctx context.Context, tab *table.Table, hier *geo.Hierarchy, opts core.Options,
 	workers, kMax, shards int, validate bool, refreshInterval time.Duration,
-	dataDir, fsyncMode string, residentRows int) (http.Handler, func() error) {
+	dataDir, fsyncMode string, residentRows int, asLeader bool) (http.Handler, func() error) {
 	scfg := store.DefaultConfig()
 	scfg.Shards = shards
 	scfg.Validate = validate
@@ -306,10 +365,105 @@ func buildLive(ctx context.Context, tab *table.Table, hier *geo.Hierarchy, opts 
 		}
 	}
 	go live.AutoRefresh(ctx, refreshInterval)
-	srv, err := server.NewLive(live)
+	var srv *server.Server
+	if asLeader {
+		srv, err = server.NewLiveCluster(live, server.ClusterConfig{Leader: scaleout.NewLeader(st)})
+		fmt.Fprintf(os.Stderr, "leader mode: replication endpoints enabled\n")
+	} else {
+		srv, err = server.NewLive(live)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "live mode: %d shards, refresh interval %v\n", shards, refreshInterval)
 	return srv, st.Close
+}
+
+// buildReplica mirrors a leader: it learns the leader's shard layout
+// (retrying until the leader is reachable), pulls segment streams into
+// an in-memory store, runs its own refresh loop over the replicated
+// rows, and serves reads plus epoch-pinned partial queries. The
+// returned postDrain stops the pull loop — after the HTTP drain, per
+// the shutdown ordering.
+func buildReplica(ctx context.Context, hier *geo.Hierarchy, opts core.Options, workers, kMax int,
+	refreshInterval time.Duration, leaderURL string, syncInterval time.Duration,
+	readyMaxLag uint64) (http.Handler, func() error, func()) {
+	client := &http.Client{Timeout: 60 * time.Second}
+	var info scaleout.LeaderInfo
+	for {
+		var err error
+		if info, err = scaleout.FetchLeaderInfo(ctx, client, leaderURL); err == nil {
+			break
+		}
+		if ctx.Err() != nil {
+			log.Fatal("interrupted before the leader became reachable")
+		}
+		log.Printf("replica: leader %s not reachable (%v), retrying", leaderURL, err)
+		select {
+		case <-ctx.Done():
+			log.Fatal("interrupted before the leader became reachable")
+		case <-time.After(time.Second):
+		}
+	}
+	scfg := store.DefaultConfig()
+	scfg.Shards = info.Shards
+	scfg.SegmentRows = info.SegmentRows
+	st, err := store.New(scfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pcfg := core.DefaultPreprocessConfig()
+	pcfg.Parallelism = workers
+	acfg := core.DefaultAnalysisConfig()
+	acfg.KMax = kMax
+	acfg.Parallelism = workers
+	live, err := core.NewLive(st, hier, core.LiveConfig{
+		Preprocess: pcfg,
+		Analysis:   acfg,
+		Options:    opts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	repl := scaleout.NewReplica(st, leaderURL, client, syncInterval)
+	srv, err := server.NewLiveCluster(live, server.ClusterConfig{Replica: repl, ReadyMaxLag: readyMaxLag})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The server wired repl.OnApply; only now may the pull loop start.
+	// It runs on its own context so it keeps serving sync state while
+	// the HTTP server drains, and stops in postDrain.
+	replCtx, replCancel := context.WithCancel(context.Background())
+	go repl.Run(replCtx)
+	go live.AutoRefresh(ctx, refreshInterval)
+	fmt.Fprintf(os.Stderr, "replica mode: leader %s, %d shards, sync interval %v\n",
+		leaderURL, info.Shards, syncInterval)
+	return srv, st.Close, replCancel
+}
+
+// buildCoordinator serves /api/query by scatter-gather over the given
+// replicas; it holds no local data. The returned postDrain stops the
+// status poller after in-flight fan-outs have drained.
+func buildCoordinator(replicaList string, timeout, hedgeAfter time.Duration) (http.Handler, func()) {
+	var urls []string
+	for _, u := range strings.Split(replicaList, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	coord, err := scaleout.NewCoordinator(scaleout.CoordinatorConfig{
+		Replicas:   urls,
+		Timeout:    timeout,
+		HedgeAfter: hedgeAfter,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.NewCoordinator(coord)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "coordinator mode: %d replicas, hedge after %v, per-replica timeout %v\n",
+		len(urls), hedgeAfter, timeout)
+	return srv, coord.Close
 }

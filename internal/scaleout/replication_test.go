@@ -1,0 +1,223 @@
+package scaleout
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"indice/internal/store"
+	"indice/internal/table"
+)
+
+// replConfig keys rows so shard routing is deterministic; the tiny
+// segment cap seals often, producing multi-segment shards.
+func replConfig() store.Config {
+	return store.Config{
+		Shards:      3,
+		SegmentRows: 16,
+		Schema:      wireSchema,
+		KeyAttr:     "id",
+		IndexAttrs:  []string{"class"},
+		StatsAttrs:  []string{"v"},
+	}
+}
+
+func replBatch(t testing.TB, seed int64, n int) *table.Table {
+	t.Helper()
+	return wireTable(t, seed, n)
+}
+
+// leaderServer mounts a real Leader over st on an httptest server, the
+// same three routes indice-server exposes.
+func leaderServer(t testing.TB, st *store.Store) (*Leader, *httptest.Server) {
+	t.Helper()
+	l := NewLeader(st)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/replicate/info", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"shards":%d,"segment_rows":%d,"epoch":%d,"rows":%d}`,
+			st.NumShards(), st.SegmentRows(), st.Epoch(), st.Rows())
+	})
+	mux.HandleFunc("/api/replicate/segments", l.ServeSegments)
+	mux.HandleFunc("/api/replicate/delta", l.ServeDelta)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return l, srv
+}
+
+// bitwise renders a store's snapshot to the v1 binary form — equal
+// stores produce equal bytes, so replication fidelity is byte-checkable.
+func bitwise(t testing.TB, st *store.Store) []byte {
+	t.Helper()
+	tab, err := st.Snapshot().Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReplicaFullThenDeltaSync(t *testing.T) {
+	leaderStore, err := store.New(replConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leaderStore.AppendTable(replBatch(t, 1, 200)); err != nil {
+		t.Fatal(err)
+	}
+	_, srv := leaderServer(t, leaderStore)
+
+	replicaStore, err := store.New(replConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl := NewReplica(replicaStore, srv.URL, srv.Client(), 10*time.Millisecond)
+
+	applies := 0
+	repl.OnApply = func() { applies++ }
+
+	// First sync is a full stream.
+	if err := repl.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := replicaStore.Rows(), leaderStore.Rows(); got != want {
+		t.Fatalf("after full sync: %d rows, want %d", got, want)
+	}
+	if !bytes.Equal(bitwise(t, replicaStore), bitwise(t, leaderStore)) {
+		t.Fatal("full sync is not bitwise-faithful")
+	}
+	st := repl.Status()
+	if st.FullSyncs != 1 || st.AppliedEpoch == 0 || st.LagEpochs != 0 || st.LagRows != 0 {
+		t.Fatalf("status after full sync: %+v", st)
+	}
+	if applies != 1 {
+		t.Fatalf("OnApply ran %d times, want 1", applies)
+	}
+	if _, ok := repl.SnapshotAt(st.AppliedEpoch); !ok {
+		t.Fatalf("applied epoch %d not pinned in the ring", st.AppliedEpoch)
+	}
+
+	// New rows at the leader arrive via a delta, not another full stream.
+	if _, err := leaderStore.AppendTable(replBatch(t, 2, 120)); err != nil {
+		t.Fatal(err)
+	}
+	if err := repl.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := replicaStore.Rows(), leaderStore.Rows(); got != want {
+		t.Fatalf("after delta sync: %d rows, want %d", got, want)
+	}
+	if !bytes.Equal(bitwise(t, replicaStore), bitwise(t, leaderStore)) {
+		t.Fatal("delta sync is not bitwise-faithful")
+	}
+	st = repl.Status()
+	if st.FullSyncs != 1 {
+		t.Fatalf("delta sync ran %d full syncs, want 1", st.FullSyncs)
+	}
+
+	// Nothing new: a no-op contact, no error, still current.
+	if err := repl.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if lag, synced := repl.Lag(); lag != 0 || !synced {
+		t.Fatalf("Lag() = (%d, %v) after no-op sync", lag, synced)
+	}
+	if applies != 2 {
+		t.Fatalf("OnApply ran %d times, want 2 (no-op syncs must not fire it)", applies)
+	}
+}
+
+// TestReplicaResyncsAfterGone covers the aged-out baseline: the leader
+// answers 410 for the replica's epoch, so the replica must reset its
+// store and rebuild from a full stream instead of erroring forever.
+func TestReplicaResyncsAfterGone(t *testing.T) {
+	leaderStore, err := store.New(replConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leaderStore.AppendTable(replBatch(t, 3, 150)); err != nil {
+		t.Fatal(err)
+	}
+	l := NewLeader(leaderStore)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/replicate/segments", l.ServeSegments)
+	mux.HandleFunc("/api/replicate/delta", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "baseline gone", http.StatusGone)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	replicaStore, err := store.New(replConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl := NewReplica(replicaStore, srv.URL, srv.Client(), 10*time.Millisecond)
+	if err := repl.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	preReset := bitwise(t, replicaStore)
+
+	// The next sync asks for a delta, gets 410, and recovers.
+	if err := repl.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := repl.Status(); st.FullSyncs != 2 {
+		t.Fatalf("after 410: %d full syncs, want 2", st.FullSyncs)
+	}
+	if got, want := replicaStore.Rows(), leaderStore.Rows(); got != want {
+		t.Fatalf("after 410 resync: %d rows, want %d", got, want)
+	}
+	if !bytes.Equal(bitwise(t, replicaStore), preReset) {
+		t.Fatal("410 resync changed the replica's data")
+	}
+}
+
+func TestReplicaRejectsShardMismatch(t *testing.T) {
+	leaderStore, err := store.New(replConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leaderStore.AppendTable(replBatch(t, 4, 50)); err != nil {
+		t.Fatal(err)
+	}
+	_, srv := leaderServer(t, leaderStore)
+
+	cfg := replConfig()
+	cfg.Shards = 5 // does not mirror the leader
+	replicaStore, err := store.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl := NewReplica(replicaStore, srv.URL, srv.Client(), 10*time.Millisecond)
+	if err := repl.SyncOnce(context.Background()); err == nil {
+		t.Fatal("mismatched shard layout applied")
+	}
+	if replicaStore.Rows() != 0 {
+		t.Fatalf("mismatched stream landed %d rows", replicaStore.Rows())
+	}
+}
+
+func TestFetchLeaderInfo(t *testing.T) {
+	leaderStore, err := store.New(replConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leaderStore.AppendTable(replBatch(t, 5, 40)); err != nil {
+		t.Fatal(err)
+	}
+	_, srv := leaderServer(t, leaderStore)
+	info, err := FetchLeaderInfo(context.Background(), srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Shards != 3 || info.Rows != 40 || info.SegmentRows != 16 {
+		t.Fatalf("leader info = %+v", info)
+	}
+}

@@ -14,7 +14,7 @@ type healthResponse struct {
 	// Status is "ok", or "starting" for a live server before the first
 	// successful refresh publishes a state.
 	Status        string  `json:"status"`
-	Mode          string  `json:"mode"` // "static" or "live"
+	Mode          string  `json:"mode"` // static, live, leader, replica or coordinator
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Rows is the serving row count: the engine table (static) or the
 	// live store's current rows (live, ahead of the published state).
@@ -63,12 +63,28 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			P99Seconds: lat.Quantile(0.99) * obs.Nanos,
 		},
 	}
+	if s.coord != nil {
+		resp.Mode = "coordinator"
+		if err := s.coord.Ready(); err != nil {
+			resp.Status = "starting"
+			resp.Published = false
+			resp.LastError = err.Error()
+		}
+		writeJSON(w, resp)
+		return
+	}
 	if s.live == nil {
 		resp.Rows = s.eng.Table().NumRows()
 		writeJSON(w, resp)
 		return
 	}
 	resp.Mode = "live"
+	switch {
+	case s.leader != nil:
+		resp.Mode = "leader"
+	case s.replica != nil:
+		resp.Mode = "replica"
+	}
 	resp.Rows = s.live.Store().Rows()
 	resp.Refreshes = s.live.Refreshes()
 	resp.FullRefreshes = s.live.FullRefreshes()

@@ -13,10 +13,11 @@ import (
 // resolved at route registration so the request path never pays a
 // registry lookup.
 var (
-	mHTTPInFlight = obs.Default.Gauge("indice_http_in_flight_requests", "Requests currently being served.")
-	mHTTPPanics   = obs.Default.Counter("indice_http_panics_total", "Handler panics recovered by the middleware (answered as 500).")
-	mCacheHits    = obs.Default.Counter("indice_query_cache_hits_total", "Query result cache hits (process-wide, across server instances).")
-	mCacheMisses  = obs.Default.Counter("indice_query_cache_misses_total", "Query result cache misses (process-wide, across server instances).")
+	mHTTPInFlight   = obs.Default.Gauge("indice_http_in_flight_requests", "Requests currently being served.")
+	mHTTPPanics     = obs.Default.Counter("indice_http_panics_total", "Handler panics recovered by the middleware (answered as 500).")
+	mCacheHits      = obs.Default.Counter("indice_query_cache_hits_total", "Query result cache hits (process-wide, across server instances).")
+	mCacheMisses    = obs.Default.Counter("indice_query_cache_misses_total", "Query result cache misses (process-wide, across server instances).")
+	mQueryCoalesced = obs.Default.Counter("indice_query_coalesced_total", "Query requests that waited on another request's in-flight identical computation instead of recomputing (single-flight).")
 
 	serverStart = time.Now()
 )

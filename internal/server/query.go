@@ -94,6 +94,9 @@ type queryResponse struct {
 	Rows   []map[string]any `json:"rows,omitempty"`
 	Limit  int              `json:"limit"`
 	Offset int              `json:"offset"`
+	// Cluster appears on coordinator responses: how many replicas served
+	// this answer and whether any leg failed over.
+	Cluster *clusterInfo `json:"cluster,omitempty"`
 }
 
 // parseQueryRequest extracts a queryRequest from either the URL (GET)
@@ -218,12 +221,41 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		canonical = pred.String()
 	}
 
-	var (
-		epoch     uint64
-		storeRows int
-		matched   *table.Table
-		plan      *store.PlanStats
-	)
+	// finish assembles, caches and returns the response for a computed
+	// match set; errors carry their HTTP status for the writer below.
+	finish := func(epoch uint64, storeRows int, matched *table.Table, plan *store.PlanStats) (*queryResponse, error) {
+		resp := &queryResponse{
+			Epoch:     epoch,
+			StoreRows: storeRows,
+			Matched:   matched.NumRows(),
+			Query:     canonical,
+			Plan:      plan,
+			Preset:    preset,
+			Limit:     req.Limit,
+			Offset:    req.Offset,
+		}
+		var err error
+		if resp.Stats, err = summarize(matched, attrs); err != nil {
+			return nil, &statusError{http.StatusBadRequest, err}
+		}
+		if req.By != "" {
+			if resp.Groups, err = groupBy(matched, req.By, attrs); err != nil {
+				return nil, &statusError{http.StatusBadRequest, err}
+			}
+		}
+		if req.Limit > 0 {
+			if resp.Rows, err = rowPage(matched, req.Offset, req.Limit); err != nil {
+				return nil, &statusError{http.StatusBadRequest, err}
+			}
+		}
+		if key, ok := s.cacheKey(epoch, canonical, attrs, req); ok {
+			s.cache.put(epoch, key, resp)
+		}
+		return resp, nil
+	}
+
+	var epoch uint64
+	var compute func() (*queryResponse, error)
 	if s.live != nil {
 		pub := s.live.Current()
 		if pub == nil || pub.Snapshot == nil {
@@ -231,76 +263,73 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		epoch = pub.Epoch
-		if key, ok := s.cacheKey(epoch, canonical, attrs, req); ok {
-			if resp, hit := s.cache.get(epoch, key); hit {
-				cached := *resp
-				cached.Cached = true
-				writeJSON(w, &cached)
-				return
+		compute = func() (*queryResponse, error) {
+			tab, ps, err := pub.Snapshot.Query(pred, parallel.Auto)
+			if err != nil {
+				return nil, &statusError{queryErrStatus(err), err}
 			}
+			return finish(epoch, pub.Snapshot.NumRows(), tab, &ps)
 		}
-		storeRows = pub.Snapshot.NumRows()
-		tab, ps, err := pub.Snapshot.Query(pred, parallel.Auto)
-		if err != nil {
-			http.Error(w, err.Error(), queryErrStatus(err))
-			return
-		}
-		matched, plan = tab, &ps
 	} else {
 		eng, _, ok := s.serveState(w)
 		if !ok {
 			return
 		}
-		if key, ok := s.cacheKey(0, canonical, attrs, req); ok {
-			if resp, hit := s.cache.get(0, key); hit {
-				cached := *resp
-				cached.Cached = true
-				writeJSON(w, &cached)
-				return
+		compute = func() (*queryResponse, error) {
+			matched := eng.Table()
+			if pred != nil {
+				var err error
+				if matched, err = query.Select(eng.Table(), pred); err != nil {
+					return nil, &statusError{queryErrStatus(err), err}
+				}
 			}
-		}
-		storeRows = eng.Table().NumRows()
-		if pred == nil {
-			matched = eng.Table()
-		} else {
-			if matched, err = query.Select(eng.Table(), pred); err != nil {
-				http.Error(w, err.Error(), queryErrStatus(err))
-				return
-			}
+			return finish(0, eng.Table().NumRows(), matched, nil)
 		}
 	}
 
-	resp := &queryResponse{
-		Epoch:     epoch,
-		StoreRows: storeRows,
-		Matched:   matched.NumRows(),
-		Query:     canonical,
-		Plan:      plan,
-		Preset:    preset,
-		Limit:     req.Limit,
-		Offset:    req.Offset,
+	var resp *queryResponse
+	var shared bool
+	if key, ok := s.cacheKey(epoch, canonical, attrs, req); ok {
+		if resp, hit := s.cache.get(epoch, key); hit {
+			cached := *resp
+			cached.Cached = true
+			writeJSON(w, &cached)
+			return
+		}
+		// Cache miss: coalesce concurrent identical computations — under
+		// a cold cache and many clients, one flight computes and every
+		// duplicate request shares its result.
+		resp, shared, err = s.flights.do(r.Context(), key, compute)
+	} else {
+		resp, err = compute()
 	}
-	if resp.Stats, err = summarize(matched, attrs); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	if err != nil {
+		code := http.StatusInternalServerError
+		var se *statusError
+		if errors.As(err, &se) {
+			code = se.code
+		}
+		http.Error(w, err.Error(), code)
 		return
 	}
-	if req.By != "" {
-		if resp.Groups, err = groupBy(matched, req.By, attrs); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-	}
-	if req.Limit > 0 {
-		if resp.Rows, err = rowPage(matched, req.Offset, req.Limit); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-	}
-	if key, ok := s.cacheKey(epoch, canonical, attrs, req); ok {
-		s.cache.put(epoch, key, resp)
+	if shared {
+		coalesced := *resp
+		coalesced.Cached = true
+		writeJSON(w, &coalesced)
+		return
 	}
 	writeJSON(w, resp)
 }
+
+// statusError carries the HTTP status a query computation failed with
+// through the single-flight boundary.
+type statusError struct {
+	code int
+	err  error
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+func (e *statusError) Unwrap() error { return e.err }
 
 // cacheKey canonicalizes the output options into the cache key. The
 // epoch is embedded defensively even though the cache also partitions

@@ -1,0 +1,238 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"indice/internal/parallel"
+	"indice/internal/query"
+	"indice/internal/scaleout"
+)
+
+// handleReplicateInfo serves the layout a booting replica must mirror.
+func (s *Server) handleReplicateInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.leader.Info())
+}
+
+// handleReplicateStatus serves this replica's position for the
+// coordinator's router and for operators.
+func (s *Server) handleReplicateStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.replica.Status())
+}
+
+// handlePartialQuery serves one scatter-gather leg: the query evaluated
+// over one shard range of one pinned leader epoch, answering mergeable
+// Welford partials instead of final statistics. 412 when the requested
+// epoch is no longer (or not yet) held in the snapshot ring — the
+// coordinator's signal to fail the leg over.
+func (s *Server) handlePartialQuery(w http.ResponseWriter, r *http.Request) {
+	var spec scaleout.QuerySpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		http.Error(w, "bad JSON body: "+err.Error(), badBodyStatus(err))
+		return
+	}
+	snap, ok := s.replica.SnapshotAt(spec.Epoch)
+	if !ok {
+		http.Error(w, fmt.Sprintf("epoch %d not held by this replica", spec.Epoch), http.StatusPreconditionFailed)
+		return
+	}
+	if spec.ShardFrom < 0 || spec.ShardTo > snap.NumShards() || spec.ShardFrom >= spec.ShardTo {
+		http.Error(w, fmt.Sprintf("bad shard range [%d,%d) of %d", spec.ShardFrom, spec.ShardTo, snap.NumShards()), http.StatusBadRequest)
+		return
+	}
+	var pred query.Predicate
+	if spec.Q != "" {
+		var err error
+		if pred, err = query.Parse(spec.Q); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	tab, ps, err := snap.QueryShards(pred, spec.ShardFrom, spec.ShardTo, parallel.Auto)
+	if err != nil {
+		http.Error(w, err.Error(), queryErrStatus(err))
+		return
+	}
+	attrs, groups, err := scaleout.BuildPartial(tab, spec.Attrs, spec.By)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	p := &scaleout.Partial{
+		Epoch:   spec.Epoch,
+		Matched: tab.NumRows(),
+		Query:   spec.Q,
+		Attrs:   attrs,
+		Groups:  groups,
+		Plan:    ps,
+	}
+	for i := spec.ShardFrom; i < spec.ShardTo; i++ {
+		p.StoreRows += snap.ShardRows(i)
+	}
+	if spec.RowsLimit > 0 {
+		limit := spec.RowsLimit
+		if limit > maxQueryRows*2 {
+			limit = maxQueryRows * 2
+		}
+		if p.Rows, err = rowPage(tab, 0, limit); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	writeJSON(w, p)
+}
+
+// clusterInfo is the scatter-gather block of a coordinator query
+// response.
+type clusterInfo struct {
+	// Replicas is how many replicas served this response; Degraded how
+	// many shard-range legs had to fail over from their primary.
+	Replicas int `json:"replicas"`
+	Degraded int `json:"degraded,omitempty"`
+}
+
+// handleCoordQuery serves /api/query on a coordinator: resolve the
+// request exactly like a single node, fan the canonical predicate out
+// over the replicas at the max common epoch, and merge the Welford
+// partials into the single-node response shape. Merged responses carry
+// count/mean/stddev/min/max per attribute — rank statistics (quartiles,
+// median) cannot be reconstructed from mergeable state and read as 0.
+func (s *Server) handleCoordQuery(w http.ResponseWriter, r *http.Request) {
+	req, err := parseQueryRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), badBodyStatus(err))
+		return
+	}
+	pred, attrs, preset, err := resolveQuery(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Limit < 0 || req.Offset < 0 {
+		http.Error(w, "limit and offset must be non-negative", http.StatusBadRequest)
+		return
+	}
+	if req.Limit > maxQueryRows {
+		req.Limit = maxQueryRows
+	}
+	canonical := ""
+	if pred != nil {
+		canonical = pred.String()
+	}
+
+	// The cache partitions by the epoch the next query would pin to; a
+	// concurrent epoch change between the probe and the fan-out just
+	// misses.
+	cacheEpoch, cacheErr := s.coord.Epoch()
+	var key string
+	var keyOK bool
+	if cacheErr == nil {
+		if key, keyOK = s.cacheKey(cacheEpoch, canonical, attrs, req); keyOK {
+			if resp, hit := s.cache.get(cacheEpoch, key); hit {
+				cached := *resp
+				cached.Cached = true
+				writeJSON(w, &cached)
+				return
+			}
+		}
+	}
+
+	compute := func(ctx context.Context) (*queryResponse, error) {
+		spec := scaleout.QuerySpec{
+			Q:         canonical,
+			Attrs:     attrs,
+			By:        req.By,
+			RowsLimit: req.Offset + req.Limit,
+		}
+		m, err := s.coord.Query(ctx, spec)
+		if err != nil {
+			return nil, err
+		}
+		resp := &queryResponse{
+			Epoch:     m.Epoch,
+			StoreRows: m.StoreRows,
+			Matched:   m.Matched,
+			Query:     canonical,
+			Plan:      &m.Plan,
+			Preset:    preset,
+			Limit:     req.Limit,
+			Offset:    req.Offset,
+			Cluster:   &clusterInfo{Replicas: m.Replicas, Degraded: m.Degraded},
+		}
+		resp.Stats = make([]attrStats, 0, len(attrs))
+		for _, attr := range attrs {
+			rs := m.Attrs[attr]
+			resp.Stats = append(resp.Stats, attrStats{
+				Attr: attr, Count: rs.Count, Mean: rs.Mean, StdDev: rs.StdDev(),
+				Min: rs.Min, Max: rs.Max,
+			})
+		}
+		if req.By != "" {
+			resp.Groups = make([]groupStats, 0, len(m.Groups))
+			for _, g := range m.Groups {
+				resp.Groups = append(resp.Groups, groupStats{Value: g.Value, Count: g.Count, Means: g.Means})
+			}
+		}
+		if req.Limit > 0 {
+			rows := m.Rows
+			end := req.Offset + req.Limit
+			if end > len(rows) {
+				end = len(rows)
+			}
+			if req.Offset < end {
+				resp.Rows = rows[req.Offset:end]
+			} else {
+				resp.Rows = []map[string]any{}
+			}
+		}
+		if key, ok := s.cacheKey(m.Epoch, canonical, attrs, req); ok {
+			s.cache.put(m.Epoch, key, resp)
+		}
+		return resp, nil
+	}
+
+	// Cache miss: coalesce concurrent identical fan-outs into one
+	// flight per cache key. The flight leader computes on a detached
+	// context (bounded by the coordinator's own per-leg timeouts) so a
+	// departing waiter cannot fail everyone behind it.
+	var resp *queryResponse
+	var shared bool
+	var err2 error
+	if keyOK {
+		base := context.WithoutCancel(r.Context())
+		resp, shared, err2 = s.flights.do(r.Context(), key, func() (*queryResponse, error) {
+			return compute(base)
+		})
+	} else {
+		resp, err2 = compute(r.Context())
+	}
+	if err2 != nil {
+		var ce *scaleout.ClientError
+		switch {
+		case errors.As(err2, &ce):
+			http.Error(w, ce.Msg, http.StatusBadRequest)
+		case errors.Is(err2, scaleout.ErrNoCommonEpoch):
+			http.Error(w, err2.Error(), http.StatusServiceUnavailable)
+		default:
+			http.Error(w, err2.Error(), http.StatusBadGateway)
+		}
+		return
+	}
+	if shared {
+		coalesced := *resp
+		coalesced.Cached = true
+		writeJSON(w, &coalesced)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// handleReplicas reports the coordinator's cached view of its replicas.
+func (s *Server) handleReplicas(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.coord.Views())
+}

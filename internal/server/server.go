@@ -37,6 +37,7 @@ import (
 	"indice/internal/geo"
 	"indice/internal/obs"
 	"indice/internal/query"
+	"indice/internal/scaleout"
 	"indice/internal/stats"
 	"indice/internal/store"
 )
@@ -49,13 +50,23 @@ const (
 )
 
 // Server serves the dashboards of one engine (static mode) or of a live
-// ingestion loop (live mode).
+// ingestion loop (live mode). Scale-out roles layer on top of live mode:
+// a leader additionally serves the replication stream, a replica
+// additionally serves epoch-pinned partial queries (and rejects ingest),
+// and a coordinator serves scatter-gather queries with no local data at
+// all (see NewLiveCluster and NewCoordinator).
 type Server struct {
-	eng   *core.Engine
-	an    *core.Analysis
-	live  *core.Live
-	mux   *http.ServeMux
-	cache *queryCache
+	eng     *core.Engine
+	an      *core.Analysis
+	live    *core.Live
+	mux     *http.ServeMux
+	cache   *queryCache
+	flights flightGroup
+
+	leader      *scaleout.Leader
+	replica     *scaleout.Replica
+	coord       *scaleout.Coordinator
+	readyMaxLag uint64
 }
 
 // New builds a static Server over a preprocessed engine. The engine is
@@ -82,6 +93,51 @@ func NewLive(live *core.Live) (*Server, error) {
 	return s, nil
 }
 
+// ClusterConfig attaches a scale-out role to a live server: a Leader
+// adds the replication stream endpoints, a Replica adds the epoch-pinned
+// partial-query endpoint (and makes ingest read-only). ReadyMaxLag is
+// the replica readiness gate: /api/ready answers 503 while the replica
+// trails its leader by more than this many epochs (default 0 — any lag
+// beyond the current sync is unready).
+type ClusterConfig struct {
+	Leader      *scaleout.Leader
+	Replica     *scaleout.Replica
+	ReadyMaxLag uint64
+}
+
+// NewLiveCluster builds a live Server carrying a scale-out role. A
+// replica's apply hook is wired to the refresh loop so newly replicated
+// rows publish without waiting out the refresh interval.
+func NewLiveCluster(live *core.Live, cc ClusterConfig) (*Server, error) {
+	if live == nil {
+		return nil, fmt.Errorf("server: nil live loop")
+	}
+	if cc.Leader != nil && cc.Replica != nil {
+		return nil, fmt.Errorf("server: a process is a leader or a replica, not both")
+	}
+	s := &Server{
+		live: live, cache: newQueryCache(0),
+		leader: cc.Leader, replica: cc.Replica, readyMaxLag: cc.ReadyMaxLag,
+	}
+	if s.replica != nil {
+		s.replica.OnApply = live.RefreshAsync
+	}
+	s.routes()
+	return s, nil
+}
+
+// NewCoordinator builds a Server that serves /api/query by scatter-
+// gather over the coordinator's replicas. It holds no engine, store or
+// live loop.
+func NewCoordinator(coord *scaleout.Coordinator) (*Server, error) {
+	if coord == nil {
+		return nil, fmt.Errorf("server: nil coordinator")
+	}
+	s := &Server{coord: coord, cache: newQueryCache(0)}
+	s.routesCoordinator()
+	return s, nil
+}
+
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.handle("/", maxSmallBody, s.handleIndex, http.MethodGet)
@@ -98,6 +154,28 @@ func (s *Server) routes() {
 	s.handle("/api/refresh", maxSmallBody, s.handleRefresh, http.MethodPost)
 	s.handle("/api/checkpoint", maxSmallBody, s.handleCheckpoint, http.MethodPost)
 	s.handle("/api/health", maxSmallBody, s.handleHealth, http.MethodGet)
+	s.handle("/api/ready", maxSmallBody, s.handleReady, http.MethodGet)
+	s.handle("/metrics", maxSmallBody, obs.Handler(obs.Default), http.MethodGet)
+	if s.leader != nil {
+		s.handle("/api/replicate/info", maxSmallBody, s.handleReplicateInfo, http.MethodGet)
+		s.handle("/api/replicate/segments", maxSmallBody, s.leader.ServeSegments, http.MethodGet)
+		s.handle("/api/replicate/delta", maxSmallBody, s.leader.ServeDelta, http.MethodGet)
+	}
+	if s.replica != nil {
+		s.handle("/api/replicate/status", maxSmallBody, s.handleReplicateStatus, http.MethodGet)
+		s.handle("/api/query/partial", maxSmallBody, s.handlePartialQuery, http.MethodPost)
+	}
+}
+
+// routesCoordinator registers the coordinator's reduced route set: it
+// holds no local data, so the dashboard and store routes do not apply.
+func (s *Server) routesCoordinator() {
+	s.mux = http.NewServeMux()
+	s.handle("/api/query", maxSmallBody, s.handleCoordQuery, http.MethodGet, http.MethodPost)
+	s.handle("/api/presets", maxSmallBody, s.handlePresets, http.MethodGet)
+	s.handle("/api/replicas", maxSmallBody, s.handleReplicas, http.MethodGet)
+	s.handle("/api/health", maxSmallBody, s.handleHealth, http.MethodGet)
+	s.handle("/api/ready", maxSmallBody, s.handleReady, http.MethodGet)
 	s.handle("/metrics", maxSmallBody, obs.Handler(obs.Default), http.MethodGet)
 }
 
@@ -476,6 +554,10 @@ type ingestResponse struct {
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.live == nil {
 		http.Error(w, "ingestion requires live mode", http.StatusNotFound)
+		return
+	}
+	if s.replica != nil {
+		http.Error(w, "replica is read-only: ingest at the leader", http.StatusForbidden)
 		return
 	}
 	st := s.live.Store()

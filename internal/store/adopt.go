@@ -1,0 +1,103 @@
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"indice/internal/bitmap"
+	"indice/internal/stats"
+	"indice/internal/table"
+)
+
+// AdoptPart is one replication wire unit: a sealed, encoded segment and
+// the shard it belongs to. Replicas mirror the leader's shard layout, so
+// the shard id travels with the segment instead of being re-derived by
+// hashing rows — applying a part never decodes it.
+type AdoptPart struct {
+	Shard int
+	Enc   *table.Encoded
+}
+
+// AdoptParts installs pre-encoded sealed segments directly into the
+// named shards: the replication apply path. Indexes and summary
+// statistics update through the encoded accessors (dictionary lookups,
+// packed-code reads), so the segment content is never materialized as a
+// raw table. The whole batch lands atomically with respect to
+// snapshots — a snapshot observes all parts or none.
+//
+// Only in-memory stores accept adopted segments: a durable store's WAL
+// could not vouch for rows that bypassed it, and replicas re-sync from
+// their leader on boot instead of recovering locally.
+// Reset discards every row, index posting and summary statistic while
+// keeping the schema and shard layout, so a replica whose delta baseline
+// aged out of the leader's history can rebuild from a full segment
+// stream. The epoch counter keeps rising (snapshots taken before the
+// reset stay valid — they share immutable segments) and the remembered
+// baselines are dropped, so a later DeltaSince against a pre-reset epoch
+// refuses and forces the consumer into a full refresh. In-memory stores
+// only, for the same reason as AdoptParts.
+func (s *Store) Reset() error {
+	if s.wal != nil {
+		return fmt.Errorf("store: durable stores cannot be reset")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		removed += sh.rows
+		tail, err := table.NewWithSchema(s.schema)
+		if err != nil {
+			sh.mu.Unlock()
+			return fmt.Errorf("store: reset: %w", err)
+		}
+		sh.sealed = nil
+		sh.tail = tail
+		sh.rows = 0
+		for a := range sh.index {
+			sh.index[a] = make(map[string]*bitmap.Bitmap)
+		}
+		for a := range sh.stats {
+			sh.stats[a] = &stats.Running{}
+		}
+		sh.mu.Unlock()
+	}
+	s.history = nil
+	s.generation.Add(1)
+	mStoreRows.Add(-float64(removed))
+	return nil
+}
+
+func (s *Store) AdoptParts(parts []AdoptPart) (int, error) {
+	if len(parts) == 0 {
+		return 0, nil
+	}
+	if s.wal != nil {
+		return 0, fmt.Errorf("store: durable stores cannot adopt replicated segments")
+	}
+	start := time.Now()
+	defer func() { mIngestSeconds.ObserveDuration(time.Since(start)) }()
+	for _, p := range parts {
+		if p.Shard < 0 || p.Shard >= len(s.shards) {
+			return 0, fmt.Errorf("store: adopt into shard %d of %d", p.Shard, len(s.shards))
+		}
+		if p.Enc == nil || p.Enc.NumRows() == 0 {
+			return 0, fmt.Errorf("store: adopt of empty segment")
+		}
+		if !schemaEqual(p.Enc.Schema(), s.schema) {
+			return 0, fmt.Errorf("store: adopted segment schema does not match the store")
+		}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rows := 0
+	for _, p := range parts {
+		s.shards[p.Shard].adopt(p.Enc, "", &s.cfg)
+		rows += p.Enc.NumRows()
+	}
+	s.accepted.Add(uint64(rows))
+	mIngestBatches.Inc()
+	mIngestAccepted.Add(uint64(rows))
+	s.generation.Add(1)
+	return rows, nil
+}

@@ -27,12 +27,18 @@ type Delta struct {
 	CopiedRows     int
 
 	tables []*table.Table
+	shards []int
 }
 
 // Tables returns the new rows as tables in shard order (within a shard,
 // arrival order). Whole new segments are shared with the snapshot rather
 // than copied: treat them as read-only.
 func (d *Delta) Tables() []*table.Table { return d.tables }
+
+// TableShard returns the shard the i-th delta table belongs to, so a
+// consumer mirroring the store's layout (a replica) can apply each
+// table to the matching shard.
+func (d *Delta) TableShard(i int) int { return d.shards[i] }
 
 // DeltaSince computes the delta between the snapshot and the remembered
 // baseline at the given earlier epoch. The second return value is false
@@ -78,6 +84,7 @@ func (sn *Snapshot) DeltaSince(epoch uint64) (*Delta, bool) {
 				}
 				d.SharedSegments++
 				d.tables = append(d.tables, tab)
+				d.shards = append(d.shards, i)
 			default:
 				tab, err := sg.open(sn.ld)
 				if err != nil {
@@ -90,6 +97,7 @@ func (sn *Snapshot) DeltaSince(epoch uint64) (*Delta, bool) {
 				}
 				d.CopiedRows += part.NumRows()
 				d.tables = append(d.tables, part)
+				d.shards = append(d.shards, i)
 			}
 			off += n
 		}

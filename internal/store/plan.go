@@ -74,9 +74,21 @@ type shardResult struct {
 // candidates or segments. Shards are processed on workers goroutines
 // (see parallel.Workers); the result is identical at any parallelism.
 func (sn *Snapshot) Query(p query.Predicate, workers int) (*table.Table, PlanStats, error) {
+	return sn.QueryShards(p, 0, len(sn.segs), workers)
+}
+
+// QueryShards is Query restricted to the shard range [from, to): the same
+// plan, evaluated only over those shards, with results in the same order
+// Query would emit them. Concatenating the results of a disjoint covering
+// set of ranges reproduces Query exactly — the seam the scatter-gather
+// coordinator partitions cluster queries along.
+func (sn *Snapshot) QueryShards(p query.Predicate, from, to, workers int) (*table.Table, PlanStats, error) {
 	start := time.Now()
-	ps := PlanStats{Shards: len(sn.segs)}
-	if p == nil {
+	if from < 0 || to > len(sn.segs) || from > to {
+		return nil, PlanStats{}, fmt.Errorf("store: query shard range [%d,%d) outside [0,%d)", from, to, len(sn.segs))
+	}
+	ps := PlanStats{Shards: to - from}
+	if p == nil && from == 0 && to == len(sn.segs) {
 		tab, err := sn.Table()
 		if err != nil {
 			return nil, ps, err
@@ -86,10 +98,15 @@ func (sn *Snapshot) Query(p query.Predicate, workers int) (*table.Table, PlanSta
 		mQuerySeconds.ObserveDuration(time.Since(start))
 		return tab, ps, nil
 	}
-	pushIn, pushRange, residual := pushdown(p, sn)
+	var pushIn []query.In
+	var pushRange []query.NumRange
+	var residual query.Predicate
+	if p != nil {
+		pushIn, pushRange, residual = pushdown(p, sn)
+	}
 
-	results := parallel.Map(len(sn.segs), workers, func(i int) shardResult {
-		return sn.queryShard(i, p, pushIn, pushRange, residual)
+	results := parallel.Map(to-from, workers, func(i int) shardResult {
+		return sn.queryShard(from+i, p, pushIn, pushRange, residual)
 	})
 
 	out, err := table.NewWithSchema(sn.schema)
@@ -243,6 +260,29 @@ func (sn *Snapshot) queryShard(i int, p query.Predicate, pushIn []query.In, push
 	}
 	if rows == 0 {
 		return shardResult{}
+	}
+
+	if p == nil {
+		// Select-all over a restricted shard range: every row matches, so
+		// each segment goes out whole.
+		var parts []shardPart
+		for _, sg := range segs {
+			enc, raw, err := sg.openEnc(sn.ld)
+			if err != nil {
+				return shardResult{err: err}
+			}
+			n := sg.numRows()
+			match := make([]int, n)
+			for r := range match {
+				match[r] = r
+			}
+			if enc != nil {
+				parts = append(parts, shardPart{enc: enc, rows: match})
+			} else {
+				parts = append(parts, shardPart{raw: raw, rows: match})
+			}
+		}
+		return shardResult{parts: parts, scanned: rows}
 	}
 
 	// Welford pruning: a range conjunct no valid value of this shard can

@@ -161,6 +161,26 @@ func (sn *Snapshot) ShardSegments(i int) ([]*table.Table, error) {
 	return out, nil
 }
 
+// ShardEncoded returns shard i's segments in the compressed encoded
+// form — the replication wire unit. Sealed segments come back as-is
+// (reloading evicted ones from disk); the snapshot-private raw tail
+// copy, if any, is encoded on the fly. The encodings are immutable and
+// shared with the store: stream them, never mutate them.
+func (sn *Snapshot) ShardEncoded(i int) ([]*table.Encoded, error) {
+	out := make([]*table.Encoded, 0, len(sn.segs[i]))
+	for _, sg := range sn.segs[i] {
+		enc, raw, err := sg.openEnc(sn.ld)
+		if err != nil {
+			return nil, err
+		}
+		if enc == nil {
+			enc = table.Encode(raw)
+		}
+		out = append(out, enc)
+	}
+	return out, nil
+}
+
 // Stats returns the merged summary statistics of a tracked numeric
 // attribute. The second return value is false for untracked attributes.
 func (sn *Snapshot) Stats(attr string) (stats.Running, bool) {
