@@ -27,6 +27,7 @@ import (
 	"indice/internal/obs"
 	"indice/internal/outlier"
 	"indice/internal/query"
+	"indice/internal/scaleout"
 	"indice/internal/store"
 	"indice/internal/synth"
 	"indice/internal/table"
@@ -1302,4 +1303,143 @@ func seqInts(n int) []int {
 		out[i] = i
 	}
 	return out
+}
+
+// BenchmarkE17AggPushdown prices the aggregation pushdown against the
+// materialize-then-regroup path it replaces. Every variant answers the
+// same dashboard question — per-energy-class count, mean and quartiles
+// of eph — over the E15 100k-row corpus. "materialize" is the before:
+// run the indexed query into a row table, then per-group Welford and
+// sketch passes over the copied columns (the old replica leg,
+// scaleout.BuildPartial). "pushdown" computes identical groups directly
+// over the encoded segments without building a table. "pushdown-cached"
+// is the no-predicate dashboard shape served from the per-segment
+// partial-aggregate cache — near-O(groups) per request. Captured
+// numbers live in BENCH_agg.json; methodology in docs/benchmarks.md.
+func BenchmarkE17AggPushdown(b *testing.B) {
+	const rows = 100_000
+	seed := e15Table(b, rows)
+	cfg := store.Config{
+		Shards:     4,
+		Schema:     seed.Schema(),
+		KeyAttr:    epc.AttrCertificateID,
+		IndexAttrs: []string{epc.AttrDistrict, epc.AttrEnergyClass},
+		StatsAttrs: []string{epc.AttrEPH},
+	}
+	st, err := store.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.AppendTable(seed); err != nil {
+		b.Fatal(err)
+	}
+	snap := st.Snapshot()
+	if _, err := snap.Table(); err != nil { // materialize once, outside timing
+		b.Fatal(err)
+	}
+	pred := query.And{
+		query.In{Attr: epc.AttrDistrict, Values: []string{"D07"}},
+		query.NumRange{Attr: epc.AttrEPH, Min: 0, Max: 400},
+	}
+	spec := store.AggSpec{By: epc.AttrEnergyClass, Attrs: []string{epc.AttrEPH}}
+
+	// Equivalence gate, outside timing: the pushdown must reproduce the
+	// materializing path's groups — counts and extrema bitwise, means to
+	// rounding, quantiles exactly (sketch bucketing is deterministic).
+	tab, _, err := snap.Query(pred, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wantAttrs, wantGroups, err := scaleout.BuildPartial(tab, spec.Attrs, spec.By)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, ps, err := snap.QueryAgg(pred, spec, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Matched != tab.NumRows() || res.Matched == 0 {
+		b.Fatalf("pushdown matched %d rows, materialize %d", res.Matched, tab.NumRows())
+	}
+	if ps.IndexedShards == 0 || ps.ScannedRows != 0 {
+		b.Fatalf("pushdown left the indexed path: %+v", ps)
+	}
+	want := wantAttrs[epc.AttrEPH]
+	got := res.Totals[0]
+	if got.R.Count != want.Count || got.R.Min != want.Min || got.R.Max != want.Max {
+		b.Fatalf("pushdown totals %+v, materialize %+v", got.R, want)
+	}
+	if d := got.Mean() - want.Mean; d > 1e-9 || d < -1e-9 {
+		b.Fatalf("pushdown mean %v, materialize %v", got.Mean(), want.Mean)
+	}
+	if got.S.Quantile(0.5) != want.Sketch.Quantile(0.5) {
+		b.Fatalf("pushdown median %v, materialize %v", got.S.Quantile(0.5), want.Sketch.Quantile(0.5))
+	}
+	if len(res.Groups) != len(wantGroups) {
+		b.Fatalf("pushdown %d groups, materialize %d", len(res.Groups), len(wantGroups))
+	}
+	for i, g := range res.Groups {
+		w := wantGroups[i]
+		if g.Key != w.Value || g.Rows != w.Count {
+			b.Fatalf("group[%d] = %s/%d, materialize %s/%d", i, g.Key, g.Rows, w.Value, w.Count)
+		}
+		wa := w.Attrs[epc.AttrEPH]
+		ga := g.Attrs[0]
+		if ga.R.Count != wa.Count || ga.R.Min != wa.Min || ga.R.Max != wa.Max {
+			b.Fatalf("group %s: pushdown %+v, materialize %+v", g.Key, ga.R, wa)
+		}
+	}
+	// Warm the per-segment partial cache for the cached variant.
+	if _, _, err := snap.QueryAgg(nil, spec, 1); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("materialize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tab, _, err := snap.Query(pred, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := scaleout.BuildPartial(tab, spec.Attrs, spec.By); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pushdown", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := snap.QueryAgg(pred, spec, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pushdown-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := snap.QueryAgg(pred, spec, runtime.GOMAXPROCS(0)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("materialize-nopred", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tab, _, err := snap.Query(nil, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := scaleout.BuildPartial(tab, spec.Attrs, spec.By); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pushdown-cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := snap.QueryAgg(nil, spec, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

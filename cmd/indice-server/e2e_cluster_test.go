@@ -189,6 +189,63 @@ func TestE2EClusterReplicaKill(t *testing.T) {
 				t.Fatalf("%s: group[%d] = %+v, leader %+v", q, i, cr.Groups[i], lr.Groups[i])
 			}
 		}
+
+		// Rank statistics survive the scatter-gather merge: the
+		// coordinator's quartiles are non-zero and — sketch merges being
+		// exact — equal the leader's own, group for group.
+		type quarts struct {
+			Q1     float64 `json:"q1"`
+			Median float64 `json:"median"`
+			Q3     float64 `json:"q3"`
+			P90    float64 `json:"p90"`
+		}
+		var lq, cq struct {
+			Stats []struct {
+				Attr   string  `json:"attr"`
+				Count  int     `json:"count"`
+				Q1     float64 `json:"q1"`
+				Median float64 `json:"median"`
+				Q3     float64 `json:"q3"`
+			} `json:"stats"`
+			Groups []struct {
+				Value     string            `json:"value"`
+				Quartiles map[string]quarts `json:"quartiles"`
+			} `json:"groups"`
+		}
+		if err := json.Unmarshal([]byte(leaderBody), &lq); err != nil {
+			t.Fatalf("leader %s: %v", q, err)
+		}
+		if err := json.Unmarshal([]byte(coordBody), &cq); err != nil {
+			t.Fatalf("coordinator %s: %v", q, err)
+		}
+		for i, cs := range cq.Stats {
+			ls := lq.Stats[i]
+			if cs.Count > 0 && cs.Median == 0 && ls.Median != 0 {
+				t.Fatalf("%s: merged stats[%s] quartiles read 0: %+v", q, cs.Attr, cs)
+			}
+			if cs.Q1 != ls.Q1 || cs.Median != ls.Median || cs.Q3 != ls.Q3 {
+				t.Fatalf("%s: stats[%s] quartiles [%v %v %v], leader [%v %v %v]",
+					q, cs.Attr, cs.Q1, cs.Median, cs.Q3, ls.Q1, ls.Median, ls.Q3)
+			}
+		}
+		if len(cq.Groups) > 0 {
+			nonZero := 0
+			for i, cg := range cq.Groups {
+				lg := lq.Groups[i]
+				for attr, qs := range cg.Quartiles {
+					if qs.Median != 0 {
+						nonZero++
+					}
+					if qs != lg.Quartiles[attr] {
+						t.Fatalf("%s: group %q quartiles[%s] = %+v, leader %+v",
+							q, cg.Value, attr, qs, lg.Quartiles[attr])
+					}
+				}
+			}
+			if nonZero == 0 {
+				t.Fatalf("%s: no merged group reported non-zero quartiles", q)
+			}
+		}
 	}
 
 	// The kill must be visible on the coordinator's metrics: legs failed

@@ -2,6 +2,7 @@ package scaleout
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"indice/internal/stats"
@@ -32,15 +33,20 @@ type QuerySpec struct {
 }
 
 // AttrPartial is a mergeable per-attribute summary: the Welford
-// accumulator state, not derived statistics, so partials from any row
-// partition fold into exactly the accumulator a single pass would have
-// produced (stats.Running.Merge).
+// accumulator state plus the quantile sketch, not derived statistics, so
+// partials from any row partition fold into exactly the state a single
+// pass would have produced (stats.Running.Merge, stats.Sketch.Merge).
 type AttrPartial struct {
 	Count int     `json:"count"`
 	Mean  float64 `json:"mean"`
 	M2    float64 `json:"m2"`
 	Min   float64 `json:"min"`
 	Max   float64 `json:"max"`
+	// Sketch carries the bucket counts rank statistics merge through;
+	// sketch bucketing is deterministic, so merged quartiles equal a
+	// single node's exactly. Optional on the wire (absent from legs
+	// predating it) — merge treats nil as empty.
+	Sketch *stats.Sketch `json:"sketch,omitempty"`
 }
 
 // Running converts the wire form back into an accumulator.
@@ -80,9 +86,11 @@ type Partial struct {
 }
 
 // BuildPartial computes the mergeable aggregates of one leg over its
-// matched rows: per-attribute Welford accumulators and, when by is set,
-// per-group per-attribute accumulators. Invalid cells group under ""
-// like Table.GroupByString and are excluded from every accumulator.
+// matched rows: per-attribute Welford accumulators and quantile sketches
+// and, when by is set, the same per group. Invalid cells group under ""
+// like Table.GroupByString; invalid and non-finite cells are excluded
+// from every accumulator (matching stats.Describe's reading of the
+// corpus, and the pushdown kernels' semantics).
 func BuildPartial(tab *table.Table, attrs []string, by string) (map[string]AttrPartial, []GroupPartial, error) {
 	cols := make(map[string][]float64, len(attrs))
 	masks := make(map[string][]bool, len(attrs))
@@ -100,13 +108,17 @@ func BuildPartial(tab *table.Table, attrs []string, by string) (map[string]AttrP
 		out = make(map[string]AttrPartial, len(attrs))
 		for _, attr := range attrs {
 			var r stats.Running
+			sk := &stats.Sketch{}
 			vals, mask := cols[attr], masks[attr]
 			for i, v := range vals {
-				if mask[i] {
+				if mask[i] && !math.IsNaN(v) && !math.IsInf(v, 0) {
 					r.Add(v)
+					sk.Add(v)
 				}
 			}
-			out[attr] = PartialOf(r)
+			ap := PartialOf(r)
+			ap.Sketch = sk
+			out[attr] = ap
 		}
 	}
 
@@ -122,17 +134,21 @@ func BuildPartial(tab *table.Table, attrs []string, by string) (map[string]AttrP
 		g := GroupPartial{Value: val, Count: len(rows)}
 		for _, attr := range attrs {
 			var r stats.Running
+			sk := &stats.Sketch{}
 			vals, mask := cols[attr], masks[attr]
 			for _, i := range rows {
-				if mask[i] {
-					r.Add(vals[i])
+				if v := vals[i]; mask[i] && !math.IsNaN(v) && !math.IsInf(v, 0) {
+					r.Add(v)
+					sk.Add(v)
 				}
 			}
 			if r.Count > 0 {
 				if g.Attrs == nil {
 					g.Attrs = make(map[string]AttrPartial, len(attrs))
 				}
-				g.Attrs[attr] = PartialOf(r)
+				ap := PartialOf(r)
+				ap.Sketch = sk
+				g.Attrs[attr] = ap
 			}
 		}
 		gs = append(gs, g)
@@ -141,26 +157,71 @@ func BuildPartial(tab *table.Table, attrs []string, by string) (map[string]AttrP
 	return out, gs, nil
 }
 
+// PartialFromAgg converts a pushdown aggregate (store.QueryShardsAgg)
+// into the wire partial forms — the leg-side fast path that never
+// materialized a row table. attrs must be the spec's attribute list, in
+// order; groups come back sorted by value like BuildPartial's.
+func PartialFromAgg(res *store.AggResult, attrs []string, by string) (map[string]AttrPartial, []GroupPartial) {
+	var out map[string]AttrPartial
+	if len(attrs) > 0 {
+		out = make(map[string]AttrPartial, len(attrs))
+		for k, attr := range attrs {
+			a := res.Totals[k]
+			ap := PartialOf(a.R)
+			ap.Sketch = a.S
+			out[attr] = ap
+		}
+	}
+	if by == "" {
+		return out, nil
+	}
+	gs := make([]GroupPartial, 0, len(res.Groups))
+	for _, g := range res.Groups {
+		gp := GroupPartial{Value: g.Key, Count: g.Rows}
+		for k, attr := range attrs {
+			a := g.Attrs[k]
+			if a.R.Count == 0 {
+				continue
+			}
+			if gp.Attrs == nil {
+				gp.Attrs = make(map[string]AttrPartial, len(attrs))
+			}
+			ap := PartialOf(a.R)
+			ap.Sketch = a.S
+			gp.Attrs[attr] = ap
+		}
+		gs = append(gs, gp)
+	}
+	return out, gs
+}
+
 // MergedGroup is one group of a merged response.
 type MergedGroup struct {
 	Value string
 	Count int
 	Means map[string]float64
+	// Sketches holds the per-attribute merged quantile sketches; present
+	// for attributes whose legs carried one.
+	Sketches map[string]*stats.Sketch
 }
 
 // Merged is the coordinator-final answer assembled from the legs of one
 // fan-out. Attr summaries come back as accumulators: count, mean,
-// standard deviation and extrema merge exactly, while rank statistics
-// (quartiles) cannot be reconstructed from Welford state and are not
-// reported by coordinator responses.
+// standard deviation and extrema merge exactly through Welford state,
+// and rank statistics (quartiles, median, p90) merge exactly through the
+// quantile sketches — sketch bucketing is deterministic, so the merged
+// sketch is bit-identical to a single pass over all rows.
 type Merged struct {
 	Epoch     uint64
 	StoreRows int
 	Matched   int
 	Attrs     map[string]stats.Running
-	Groups    []MergedGroup
-	Rows      []map[string]any
-	Plan      store.PlanStats
+	// AttrSketches carries each attribute's merged quantile sketch,
+	// keyed like Attrs.
+	AttrSketches map[string]*stats.Sketch
+	Groups       []MergedGroup
+	Rows         []map[string]any
+	Plan         store.PlanStats
 	// Replicas is the participant count; Degraded the number of legs
 	// that failed on their primary replica and were served by another.
 	Replicas int
@@ -178,10 +239,29 @@ func MergePartials(parts []*Partial) (*Merged, error) {
 	}
 	m := &Merged{Epoch: parts[0].Epoch, Replicas: len(parts)}
 	type groupAcc struct {
-		count int
-		attrs map[string]stats.Running
+		count    int
+		attrs    map[string]stats.Running
+		sketches map[string]*stats.Sketch
 	}
 	groups := make(map[string]*groupAcc)
+	// mergeSketch folds a leg's (possibly nil) sketch into the map,
+	// always into a fresh accumulator — never into the leg's own sketch,
+	// which may be a cached partial shared with other queries.
+	mergeSketch := func(dst map[string]*stats.Sketch, attr string, src *stats.Sketch) map[string]*stats.Sketch {
+		if src == nil {
+			return dst
+		}
+		if dst == nil {
+			dst = make(map[string]*stats.Sketch)
+		}
+		sk := dst[attr]
+		if sk == nil {
+			sk = &stats.Sketch{}
+			dst[attr] = sk
+		}
+		sk.Merge(src)
+		return dst
+	}
 	for _, p := range parts {
 		if p.Epoch != m.Epoch {
 			return nil, fmt.Errorf("scaleout: merging partials at epochs %d and %d", m.Epoch, p.Epoch)
@@ -201,6 +281,7 @@ func MergePartials(parts []*Partial) (*Merged, error) {
 			r := m.Attrs[attr]
 			r.Merge(ap.Running())
 			m.Attrs[attr] = r
+			m.AttrSketches = mergeSketch(m.AttrSketches, attr, ap.Sketch)
 		}
 		for _, gp := range p.Groups {
 			g := groups[gp.Value]
@@ -213,6 +294,7 @@ func MergePartials(parts []*Partial) (*Merged, error) {
 				r := g.attrs[attr]
 				r.Merge(ap.Running())
 				g.attrs[attr] = r
+				g.sketches = mergeSketch(g.sketches, attr, ap.Sketch)
 			}
 		}
 		m.Rows = append(m.Rows, p.Rows...)
@@ -220,7 +302,7 @@ func MergePartials(parts []*Partial) (*Merged, error) {
 	if len(groups) > 0 {
 		m.Groups = make([]MergedGroup, 0, len(groups))
 		for val, g := range groups {
-			mg := MergedGroup{Value: val, Count: g.count}
+			mg := MergedGroup{Value: val, Count: g.count, Sketches: g.sketches}
 			for attr, r := range g.attrs {
 				if r.Count > 0 {
 					if mg.Means == nil {

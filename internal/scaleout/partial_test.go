@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"indice/internal/stats"
+	"indice/internal/store"
 	"indice/internal/table"
 )
 
@@ -173,5 +174,71 @@ func TestAttrPartialWireSymmetry(t *testing.T) {
 	back := PartialOf(r).Running()
 	if back != r {
 		t.Fatalf("wire round-trip changed accumulator: %+v != %+v", back, r)
+	}
+}
+
+// TestPartialFromAgg pins the pushdown-leg conversion: an AggResult's
+// accumulators land on the wire exactly as BuildPartial's would —
+// Welford state plus sketch per attribute and per group, zero-count
+// group attributes absent, ungrouped results carrying no groups.
+func TestPartialFromAgg(t *testing.T) {
+	mk := func(vals ...float64) table.AggAccum {
+		var a table.AggAccum
+		for _, v := range vals {
+			a.Observe(v)
+		}
+		return a
+	}
+	res := &store.AggResult{
+		Matched: 5,
+		Totals:  []table.AggAccum{mk(1, 3, 10), mk(-2, 4)},
+		Groups: []*table.GroupAccum{
+			{Key: "", Rows: 2, Attrs: []table.AggAccum{mk(1, 3), {}}},
+			{Key: "a", Rows: 3, Attrs: []table.AggAccum{mk(10), mk(-2, 4)}},
+		},
+	}
+	attrs, groups := PartialFromAgg(res, []string{"x", "y"}, "g")
+	if tx := attrs["x"]; tx.Count != 3 || tx.Max != 10 || tx.Sketch.Count() != 3 {
+		t.Fatalf("totals x = %+v", tx)
+	}
+	if len(groups) != 2 || groups[0].Value != "" || groups[1].Value != "a" {
+		t.Fatalf("groups = %+v", groups)
+	}
+	if groups[0].Count != 2 || groups[1].Count != 3 {
+		t.Fatalf("group counts = %d/%d", groups[0].Count, groups[1].Count)
+	}
+	// Zero-count attribute y of group "" must be absent from the wire.
+	if _, ok := groups[0].Attrs["y"]; ok {
+		t.Fatalf("empty accumulator made it onto the wire: %+v", groups[0].Attrs)
+	}
+	gx := groups[0].Attrs["x"]
+	if gx.Count != 2 || gx.Min != 1 || gx.Max != 3 || gx.Sketch.Count() != 2 {
+		t.Fatalf("group \"\" x = %+v", gx)
+	}
+	ay := groups[1].Attrs["y"]
+	if ay.Count != 2 || ay.Mean != 1 || ay.Sketch == nil {
+		t.Fatalf("group a y = %+v", ay)
+	}
+
+	// Ungrouped: totals only, no groups.
+	tot := mk(2, 6)
+	res = &store.AggResult{Matched: 2, Totals: []table.AggAccum{tot}}
+	attrs, groups = PartialFromAgg(res, []string{"x"}, "")
+	if groups != nil {
+		t.Fatalf("ungrouped result carried groups: %+v", groups)
+	}
+	ax := attrs["x"]
+	if ax.Count != 2 || ax.Mean != 4 || ax.Sketch.Count() != 2 {
+		t.Fatalf("totals x = %+v", ax)
+	}
+
+	// Merged through the standard path, the converted partial behaves
+	// like any other leg.
+	m, err := MergePartials([]*Partial{{Attrs: attrs, Matched: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Attrs["x"].Count != 2 || m.AttrSketches["x"].Count() != 2 {
+		t.Fatalf("merged converted partial: %+v", m.Attrs["x"])
 	}
 }

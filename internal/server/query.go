@@ -64,6 +64,19 @@ type groupStats struct {
 	// Means holds the per-attribute mean over the group's valid cells;
 	// attributes with no valid cell in the group are omitted.
 	Means map[string]float64 `json:"means,omitempty"`
+	// Quartiles holds per-attribute quantile summaries (sketch-derived,
+	// within ±1.6% relative error; see stats.Sketch). They merge exactly
+	// across replicas, so coordinator responses report the same values a
+	// single node would.
+	Quartiles map[string]groupQuartiles `json:"quartiles,omitempty"`
+}
+
+// groupQuartiles is one attribute's quantile summary within a group.
+type groupQuartiles struct {
+	Q1     float64 `json:"q1"`
+	Median float64 `json:"median"`
+	Q3     float64 `json:"q3"`
+	P90    float64 `json:"p90"`
 }
 
 // presetInfo echoes the stakeholder preset applied to a query.
@@ -254,6 +267,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return resp, nil
 	}
 
+	// finishAgg is finish's counterpart for the aggregation pushdown
+	// path: the response is assembled straight from the mergeable
+	// accumulators — no row page exists, and none was materialized.
+	finishAgg := func(epoch uint64, storeRows int, res *store.AggResult, plan *store.PlanStats) (*queryResponse, error) {
+		resp := &queryResponse{
+			Epoch:     epoch,
+			StoreRows: storeRows,
+			Matched:   res.Matched,
+			Query:     canonical,
+			Plan:      plan,
+			Preset:    preset,
+			Limit:     req.Limit,
+			Offset:    req.Offset,
+			Stats:     statsFromAccums(attrs, res.Totals),
+		}
+		if req.By != "" {
+			resp.Groups = groupsFromAccums(res.Groups, attrs)
+		}
+		if key, ok := s.cacheKey(epoch, canonical, attrs, req); ok {
+			s.cache.put(epoch, key, resp)
+		}
+		return resp, nil
+	}
+
 	var epoch uint64
 	var compute func() (*queryResponse, error)
 	if s.live != nil {
@@ -264,6 +301,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		epoch = pub.Epoch
 		compute = func() (*queryResponse, error) {
+			if req.Limit == 0 {
+				// Stats/grouped shape: push the aggregation into the
+				// planner — group keys stay dictionary codes, values stay
+				// packed, and no matched row is ever materialized.
+				res, ps, err := pub.Snapshot.QueryAgg(pred, store.AggSpec{By: req.By, Attrs: attrs}, parallel.Auto)
+				if err != nil {
+					return nil, &statusError{queryErrStatus(err), err}
+				}
+				return finishAgg(epoch, pub.Snapshot.NumRows(), res, &ps)
+			}
 			tab, ps, err := pub.Snapshot.Query(pred, parallel.Auto)
 			if err != nil {
 				return nil, &statusError{queryErrStatus(err), err}
@@ -378,10 +425,63 @@ func summarize(tab *table.Table, attrs []string) ([]attrStats, error) {
 	return out, nil
 }
 
+// statsFromAccums renders pushdown totals as attribute summaries.
+// Compared to summarize, Count/Mean/Min/Max are bitwise-identical to the
+// materializing path on finite data; the quartiles come from the
+// mergeable sketch (±1.6% relative) instead of an exact sort.
+func statsFromAccums(attrs []string, totals []table.AggAccum) []attrStats {
+	out := make([]attrStats, 0, len(attrs))
+	for k, attr := range attrs {
+		a := totals[k]
+		as := attrStats{Attr: attr, Count: int(a.R.Count)}
+		if a.R.Count > 0 {
+			as.Mean = a.Mean()
+			as.StdDev = a.R.StdDev()
+			as.Min = a.R.Min
+			as.Max = a.R.Max
+			as.Q1 = a.S.Quantile(0.25)
+			as.Median = a.S.Quantile(0.5)
+			as.Q3 = a.S.Quantile(0.75)
+		}
+		out = append(out, as)
+	}
+	return out
+}
+
+// groupsFromAccums renders pushdown group accumulators (already sorted
+// by key) as response groups.
+func groupsFromAccums(groups []*table.GroupAccum, attrs []string) []groupStats {
+	out := make([]groupStats, 0, len(groups))
+	for _, g := range groups {
+		gs := groupStats{Value: g.Key, Count: g.Rows}
+		for k, attr := range attrs {
+			a := g.Attrs[k]
+			if a.R.Count == 0 {
+				continue
+			}
+			if gs.Means == nil {
+				gs.Means = make(map[string]float64, len(attrs))
+				gs.Quartiles = make(map[string]groupQuartiles, len(attrs))
+			}
+			gs.Means[attr] = a.Mean()
+			gs.Quartiles[attr] = groupQuartiles{
+				Q1:     a.S.Quantile(0.25),
+				Median: a.S.Quantile(0.5),
+				Q3:     a.S.Quantile(0.75),
+				P90:    a.S.Quantile(0.9),
+			}
+		}
+		out = append(out, gs)
+	}
+	return out
+}
+
 // groupBy aggregates the matched rows by a categorical attribute:
-// per-value row count plus the mean of each summarized attribute.
-// Invalid cells group under "" like Table.GroupByString. Groups are
-// sorted by value for deterministic output.
+// per-value row count plus the mean and quantile summary of each
+// summarized attribute. Invalid cells group under "" like
+// Table.GroupByString. Groups are sorted by value for deterministic
+// output. This is the materializing fallback (static mode, row-page
+// requests); live stats-shaped queries take the pushdown path instead.
 func groupBy(tab *table.Table, by string, attrs []string) ([]groupStats, error) {
 	groups, err := tab.GroupByString(by)
 	if err != nil {
@@ -402,11 +502,15 @@ func groupBy(tab *table.Table, by string, attrs []string) ([]groupStats, error) 
 		g := groupStats{Value: val, Count: len(rows)}
 		for _, attr := range attrs {
 			sum, n := 0.0, 0
+			sk := &stats.Sketch{}
 			vals, mask := cols[attr], masks[attr]
 			for _, r := range rows {
 				if mask[r] {
 					sum += vals[r]
 					n++
+					if v := vals[r]; !math.IsNaN(v) && !math.IsInf(v, 0) {
+						sk.Add(v)
+					}
 				}
 			}
 			if n > 0 {
@@ -414,6 +518,17 @@ func groupBy(tab *table.Table, by string, attrs []string) ([]groupStats, error) 
 					g.Means = make(map[string]float64, len(attrs))
 				}
 				g.Means[attr] = sum / float64(n)
+			}
+			if sk.Count() > 0 {
+				if g.Quartiles == nil {
+					g.Quartiles = make(map[string]groupQuartiles, len(attrs))
+				}
+				g.Quartiles[attr] = groupQuartiles{
+					Q1:     sk.Quantile(0.25),
+					Median: sk.Quantile(0.5),
+					Q3:     sk.Quantile(0.75),
+					P90:    sk.Quantile(0.9),
+				}
 			}
 		}
 		out = append(out, g)

@@ -467,3 +467,84 @@ func TestQueryConcurrentConsistency(t *testing.T) {
 		t.Fatal("no query observations recorded")
 	}
 }
+
+// TestQueryAggCacheNeverAliasesRowPages pins the cache-shape contract of
+// the pushdown path: a grouped/stats query (Limit 0) and the same
+// predicate's row-page query are distinct cache entries, the grouped
+// entry stores the aggregate payload only (no row page), and serving one
+// never leaks the other's shape.
+func TestQueryAggCacheNeverAliasesRowPages(t *testing.T) {
+	ts, live, ds := liveServer(t, 1200)
+	var buf bytes.Buffer
+	if err := ds.Table.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := post(t, ts.URL+"/api/ingest", "text/csv", buf.Bytes()); code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", code, body)
+	}
+	if _, err := live.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+
+	base := "/api/query?attrs=" + epc.AttrEPH + "&by=" + epc.AttrEnergyClass
+	_, grouped, body := getQuery(t, ts.URL+base)
+	if grouped == nil {
+		t.Fatalf("grouped query failed: %s", body)
+	}
+	if grouped.Cached || len(grouped.Rows) != 0 {
+		t.Fatalf("grouped response: cached=%v rows=%d, want fresh aggregate-only", grouped.Cached, len(grouped.Rows))
+	}
+	if len(grouped.Groups) == 0 {
+		t.Fatal("grouped response has no groups")
+	}
+	quartiled := 0
+	for _, g := range grouped.Groups {
+		for _, qs := range g.Quartiles {
+			if qs.Median != 0 || qs.Q1 != 0 || qs.Q3 != 0 {
+				quartiled++
+			}
+			if qs.Q1 > qs.Median || qs.Median > qs.Q3 || qs.Q3 > qs.P90 {
+				t.Fatalf("group %q quartiles out of order: %+v", g.Value, qs)
+			}
+		}
+	}
+	if quartiled == 0 {
+		t.Fatal("no group reported non-zero quartiles")
+	}
+
+	// The same predicate's row-page query must not see (or overwrite) the
+	// grouped entry: distinct Limit/Offset, distinct cache keys.
+	_, page, _ := getQuery(t, ts.URL+base+"&limit=3")
+	if page.Cached {
+		t.Fatal("row-page query aliased the grouped cache entry")
+	}
+	if len(page.Rows) != 3 {
+		t.Fatalf("row page has %d rows, want 3", len(page.Rows))
+	}
+
+	// Re-running both shapes hits each one's own entry with its own shape.
+	_, grouped2, _ := getQuery(t, ts.URL+base)
+	if !grouped2.Cached || len(grouped2.Rows) != 0 || len(grouped2.Groups) != len(grouped.Groups) {
+		t.Fatalf("grouped re-query: cached=%v rows=%d groups=%d/%d",
+			grouped2.Cached, len(grouped2.Rows), len(grouped2.Groups), len(grouped.Groups))
+	}
+	_, page2, _ := getQuery(t, ts.URL+base+"&limit=3")
+	if !page2.Cached || len(page2.Rows) != 3 {
+		t.Fatalf("row-page re-query: cached=%v rows=%d", page2.Cached, len(page2.Rows))
+	}
+
+	// Pushdown vs materialize equivalence at the API boundary: the
+	// row-page response computes its summary from the materialized rows,
+	// the grouped one from the accumulators; counts and extremes agree
+	// exactly, means to float tolerance.
+	if len(grouped.Stats) != 1 || len(page.Stats) != 1 {
+		t.Fatalf("stats blocks: %d vs %d", len(grouped.Stats), len(page.Stats))
+	}
+	g, p := grouped.Stats[0], page.Stats[0]
+	if g.Count != p.Count || g.Min != p.Min || g.Max != p.Max {
+		t.Fatalf("pushdown stats %+v diverge from materialized %+v", g, p)
+	}
+	if diff := g.Mean - p.Mean; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("means diverge: %v vs %v", g.Mean, p.Mean)
+	}
+}

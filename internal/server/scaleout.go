@@ -10,6 +10,7 @@ import (
 	"indice/internal/parallel"
 	"indice/internal/query"
 	"indice/internal/scaleout"
+	"indice/internal/store"
 )
 
 // handleReplicateInfo serves the layout a booting replica must mirror.
@@ -53,28 +54,44 @@ func (s *Server) handlePartialQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	tab, ps, err := snap.QueryShards(pred, spec.ShardFrom, spec.ShardTo, parallel.Auto)
-	if err != nil {
-		http.Error(w, err.Error(), queryErrStatus(err))
-		return
-	}
-	attrs, groups, err := scaleout.BuildPartial(tab, spec.Attrs, spec.By)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	p := &scaleout.Partial{
-		Epoch:   spec.Epoch,
-		Matched: tab.NumRows(),
-		Query:   spec.Q,
-		Attrs:   attrs,
-		Groups:  groups,
-		Plan:    ps,
-	}
-	for i := spec.ShardFrom; i < spec.ShardTo; i++ {
-		p.StoreRows += snap.ShardRows(i)
-	}
-	if spec.RowsLimit > 0 {
+	var p *scaleout.Partial
+	if spec.RowsLimit == 0 {
+		// Stats/grouped leg: aggregation pushdown, no row materialization
+		// on the replica either.
+		res, ps, err := snap.QueryShardsAgg(pred, spec.ShardFrom, spec.ShardTo, parallel.Auto,
+			store.AggSpec{By: spec.By, Attrs: spec.Attrs})
+		if err != nil {
+			http.Error(w, err.Error(), queryErrStatus(err))
+			return
+		}
+		attrs, groups := scaleout.PartialFromAgg(res, spec.Attrs, spec.By)
+		p = &scaleout.Partial{
+			Epoch:   spec.Epoch,
+			Matched: res.Matched,
+			Query:   spec.Q,
+			Attrs:   attrs,
+			Groups:  groups,
+			Plan:    ps,
+		}
+	} else {
+		tab, ps, err := snap.QueryShards(pred, spec.ShardFrom, spec.ShardTo, parallel.Auto)
+		if err != nil {
+			http.Error(w, err.Error(), queryErrStatus(err))
+			return
+		}
+		attrs, groups, err := scaleout.BuildPartial(tab, spec.Attrs, spec.By)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		p = &scaleout.Partial{
+			Epoch:   spec.Epoch,
+			Matched: tab.NumRows(),
+			Query:   spec.Q,
+			Attrs:   attrs,
+			Groups:  groups,
+			Plan:    ps,
+		}
 		limit := spec.RowsLimit
 		if limit > maxQueryRows*2 {
 			limit = maxQueryRows * 2
@@ -83,6 +100,9 @@ func (s *Server) handlePartialQuery(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+	}
+	for i := spec.ShardFrom; i < spec.ShardTo; i++ {
+		p.StoreRows += snap.ShardRows(i)
 	}
 	writeJSON(w, p)
 }
@@ -98,10 +118,11 @@ type clusterInfo struct {
 
 // handleCoordQuery serves /api/query on a coordinator: resolve the
 // request exactly like a single node, fan the canonical predicate out
-// over the replicas at the max common epoch, and merge the Welford
-// partials into the single-node response shape. Merged responses carry
-// count/mean/stddev/min/max per attribute — rank statistics (quartiles,
-// median) cannot be reconstructed from mergeable state and read as 0.
+// over the replicas at the max common epoch, and merge the partials into
+// the single-node response shape. Merged responses carry the full
+// attribute summary: count/mean/stddev/min/max from Welford state, and
+// quartiles from the merged quantile sketches — sketch merges are exact,
+// so a coordinator reports the same quartiles a single node would.
 func (s *Server) handleCoordQuery(w http.ResponseWriter, r *http.Request) {
 	req, err := parseQueryRequest(r)
 	if err != nil {
@@ -167,15 +188,36 @@ func (s *Server) handleCoordQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Stats = make([]attrStats, 0, len(attrs))
 		for _, attr := range attrs {
 			rs := m.Attrs[attr]
-			resp.Stats = append(resp.Stats, attrStats{
+			as := attrStats{
 				Attr: attr, Count: rs.Count, Mean: rs.Mean, StdDev: rs.StdDev(),
 				Min: rs.Min, Max: rs.Max,
-			})
+			}
+			if sk := m.AttrSketches[attr]; sk.Count() > 0 {
+				as.Q1 = sk.Quantile(0.25)
+				as.Median = sk.Quantile(0.5)
+				as.Q3 = sk.Quantile(0.75)
+			}
+			resp.Stats = append(resp.Stats, as)
 		}
 		if req.By != "" {
 			resp.Groups = make([]groupStats, 0, len(m.Groups))
 			for _, g := range m.Groups {
-				resp.Groups = append(resp.Groups, groupStats{Value: g.Value, Count: g.Count, Means: g.Means})
+				gs := groupStats{Value: g.Value, Count: g.Count, Means: g.Means}
+				for attr, sk := range g.Sketches {
+					if sk.Count() == 0 {
+						continue
+					}
+					if gs.Quartiles == nil {
+						gs.Quartiles = make(map[string]groupQuartiles, len(g.Sketches))
+					}
+					gs.Quartiles[attr] = groupQuartiles{
+						Q1:     sk.Quantile(0.25),
+						Median: sk.Quantile(0.5),
+						Q3:     sk.Quantile(0.75),
+						P90:    sk.Quantile(0.9),
+					}
+				}
+				resp.Groups = append(resp.Groups, gs)
 			}
 		}
 		if req.Limit > 0 {

@@ -3,10 +3,13 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -168,12 +171,28 @@ func TestCoordinatorMatchesSingleNode(t *testing.T) {
 			if len(merged.Stats) != len(single.Stats) {
 				t.Fatalf("replicas=%d %s: %d stats, want %d", nReplicas, q, len(merged.Stats), len(single.Stats))
 			}
+			statsShaped := !strings.Contains(q, "limit=")
 			for i, m := range merged.Stats {
 				s := single.Stats[i]
 				if m.Attr != s.Attr || m.Count != s.Count ||
 					!relCloseTo(m.Mean, s.Mean) || !relCloseTo(m.StdDev, s.StdDev) ||
 					m.Min != s.Min || m.Max != s.Max {
 					t.Fatalf("replicas=%d %s: stats[%d] = %+v, want %+v", nReplicas, q, i, m, s)
+				}
+				// Stats-shaped queries take the sketch path on both sides;
+				// sketch merges are exact, so coordinator quartiles equal
+				// the single node's bitwise — the old "quartiles read 0 on
+				// merged responses" caveat is gone. (Row-page queries
+				// compare a sketch against the leader's exact sort, so only
+				// the stats-shaped ones pin equality.)
+				if statsShaped {
+					if m.Count > 0 && m.Median == 0 && m.Q1 == 0 && m.Q3 == 0 && s.Median != 0 {
+						t.Fatalf("replicas=%d %s: merged quartiles read 0: %+v", nReplicas, q, m)
+					}
+					if m.Q1 != s.Q1 || m.Median != s.Median || m.Q3 != s.Q3 {
+						t.Fatalf("replicas=%d %s: stats[%d] quartiles [%v %v %v], want [%v %v %v]",
+							nReplicas, q, i, m.Q1, m.Median, m.Q3, s.Q1, s.Median, s.Q3)
+					}
 				}
 			}
 			if len(merged.Groups) != len(single.Groups) {
@@ -188,6 +207,14 @@ func TestCoordinatorMatchesSingleNode(t *testing.T) {
 					if !relCloseTo(g.Means[attr], mean) {
 						t.Fatalf("replicas=%d %s: group %q mean[%s] = %v, want %v",
 							nReplicas, q, g.Value, attr, g.Means[attr], mean)
+					}
+				}
+				if statsShaped {
+					for attr, wq := range w.Quartiles {
+						if g.Quartiles[attr] != wq {
+							t.Fatalf("replicas=%d %s: group %q quartiles[%s] = %+v, want %+v",
+								nReplicas, q, g.Value, attr, g.Quartiles[attr], wq)
+						}
 					}
 				}
 			}
@@ -418,4 +445,96 @@ func mustLive(t *testing.T) *core.Live {
 		t.Fatal(err)
 	}
 	return live
+}
+
+// TestPartialQueryValidation drives /api/query/partial directly through
+// every rejection branch and both service branches (the pushdown
+// stats-shaped leg and the row-shaped leg), plus the info endpoints the
+// coordinator path never exercises.
+func TestPartialQueryValidation(t *testing.T) {
+	tc := newTestCluster(t, 1, 600)
+	tc.syncAll(t)
+	replica := tc.replicaSrvs[0]
+	epoch := tc.replicas[0].Status().AppliedEpoch
+
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := replica.Client().Post(replica.URL+"/api/query/partial", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	for _, tt := range []struct {
+		name, body string
+		status     int
+	}{
+		{"malformed JSON", `{`, http.StatusBadRequest},
+		{"unknown field", `{"bogus": 1}`, http.StatusBadRequest},
+		{"missing epoch", fmt.Sprintf(`{"epoch": %d, "shard_from": 0, "shard_to": 4}`, epoch+99), http.StatusPreconditionFailed},
+		{"bad shard range", fmt.Sprintf(`{"epoch": %d, "shard_from": 3, "shard_to": 1}`, epoch), http.StatusBadRequest},
+		{"unparseable query", fmt.Sprintf(`{"epoch": %d, "shard_from": 0, "shard_to": 4, "q": "eph >"}`, epoch), http.StatusBadRequest},
+		{"unknown agg attr", fmt.Sprintf(`{"epoch": %d, "shard_from": 0, "shard_to": 4, "attrs": ["nope"]}`, epoch), http.StatusBadRequest},
+	} {
+		if code, body := post(tt.body); code != tt.status {
+			t.Fatalf("%s: status %d (%s), want %d", tt.name, code, body, tt.status)
+		}
+	}
+
+	// Stats-shaped leg (rows_limit absent): served by the pushdown, no
+	// rows, populated sketches.
+	code, body := post(fmt.Sprintf(`{"epoch": %d, "shard_from": 0, "shard_to": 4, "attrs": ["eph"], "by": "energy_class"}`, epoch))
+	if code != http.StatusOK {
+		t.Fatalf("stats leg: %d %s", code, body)
+	}
+	var p scaleout.Partial
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Rows != nil || len(p.Groups) == 0 || p.Matched == 0 {
+		t.Fatalf("stats leg: %+v", p)
+	}
+	if sk := p.Attrs["eph"].Sketch; sk == nil || sk.Count() == 0 {
+		t.Fatalf("stats leg carried no sketch: %+v", p.Attrs["eph"])
+	}
+
+	// Row-shaped leg: materializes and pages.
+	code, body = post(fmt.Sprintf(`{"epoch": %d, "shard_from": 0, "shard_to": 4, "attrs": ["eph"], "rows_limit": 5}`, epoch))
+	if code != http.StatusOK {
+		t.Fatalf("row leg: %d %s", code, body)
+	}
+	p = scaleout.Partial{}
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rows) != 5 || p.Matched == 0 {
+		t.Fatalf("row leg: %d rows, matched %d", len(p.Rows), p.Matched)
+	}
+
+	// The leader's replication info and the coordinator's replica view.
+	resp, err := tc.leader.Client().Get(tc.leader.URL + "/api/replicate/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info scaleout.LeaderInfo
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if err != nil || info.Shards != 4 {
+		t.Fatalf("replicate info: %+v, %v", info, err)
+	}
+	resp, err = tc.coordSrv.Client().Get(tc.coordSrv.URL + "/api/replicas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	views, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || !strings.Contains(string(views), tc.replicaSrvs[0].URL) {
+		t.Fatalf("replica views: %s, %v", views, err)
+	}
 }

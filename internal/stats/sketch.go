@@ -1,0 +1,260 @@
+package stats
+
+import "math"
+
+// Sketch is a compact mergeable quantile sketch over float64 observations:
+// the log-linear bucket layout proven in internal/obs's histograms, refined
+// to 32 subdivisions per octave and extended to the full signed float64
+// line. Each positive (and, mirrored, each negative) value lands in the
+// bucket addressed by its exponent and the top 5 mantissa bits, so bucket
+// boundaries — and therefore bucketing — are exact functions of the value's
+// bits. That determinism is the property the scale-out tier leans on: the
+// merge of any partition's sketches holds bit-identical bucket counts to a
+// single pass over all rows, so a coordinator's quantiles equal the
+// leader's exactly, no matter how rows were sharded.
+//
+// Accuracy: a reported quantile is the midpoint of the bucket holding the
+// target order statistic, clamped to the observed [Min, Max]. For values
+// with magnitude in [2^-128, 2^128] the bucket's relative width is at most
+// 2^-5 (3.125%), so the midpoint is within ±1.6% of the true order
+// statistic. Magnitudes outside that band clamp into the extreme buckets
+// and keep only the [Min, Max] guarantee. Zeros and signs are exact; NaN
+// observations are ignored (they encode missing cells).
+//
+// All fields are exported and JSON-tagged: the struct is its own wire
+// form, carried inside scaleout partials. An empty sketch marshals small
+// (both sides omitted).
+type Sketch struct {
+	// N is the total number of observations folded in, including zeros.
+	N uint64 `json:"n"`
+	// Zeros counts observations equal to 0 (either sign).
+	Zeros uint64 `json:"zeros,omitempty"`
+	// Min and Max are the exact observed extremes (meaningful when N > 0).
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+	// Pos and Neg hold the bucket counts of the positive and negative
+	// observations (Neg buckets index by magnitude).
+	Pos *SketchSide `json:"pos,omitempty"`
+	Neg *SketchSide `json:"neg,omitempty"`
+}
+
+// SketchSide is one sign's dense bucket array: Counts[i] counts the
+// observations whose bucket index is Base+i. The span stays dense because
+// indexes are clamped to sketchMinIdx..sketchMaxIdx (±128 octaves around
+// 1.0), bounding the worst-case side at 8k buckets; real EPC-shaped data
+// spans a few dozen.
+type SketchSide struct {
+	Base   int      `json:"base"`
+	Counts []uint64 `json:"counts"`
+}
+
+const (
+	// sketchSubBits is the per-octave subdivision: 2^5 = 32 linear buckets
+	// per power of two, hence the 2^-5 relative bucket width.
+	sketchSubBits = 5
+	// sketchMinIdx/sketchMaxIdx clamp the bucket index to magnitudes in
+	// [2^-128, 2^128]: (exponentField << sketchSubBits) | mantissaTopBits,
+	// with the float64 exponent bias at 1023.
+	sketchMinIdx = (1023 - 128) << sketchSubBits
+	sketchMaxIdx = (1023+128)<<sketchSubBits | (1<<sketchSubBits - 1)
+)
+
+// sketchIdx maps a positive magnitude to its clamped bucket index. The
+// index is the value's exponent field and top mantissa bits read straight
+// out of the float64 representation, so equal values always bucket
+// identically — the determinism Merge's exactness rests on.
+func sketchIdx(v float64) int {
+	idx := int(math.Float64bits(v) >> (52 - sketchSubBits))
+	if idx < sketchMinIdx {
+		return sketchMinIdx
+	}
+	if idx > sketchMaxIdx {
+		return sketchMaxIdx
+	}
+	return idx
+}
+
+// sketchRep returns the representative value (bucket midpoint) of a
+// bucket index produced by sketchIdx.
+func sketchRep(idx int) float64 {
+	lo := math.Float64frombits(uint64(idx) << (52 - sketchSubBits))
+	hi := math.Float64frombits(uint64(idx+1) << (52 - sketchSubBits))
+	return lo + (hi-lo)/2
+}
+
+// Add folds one observation into the sketch. NaN is ignored; infinities
+// clamp into the extreme buckets (Min/Max still record them exactly).
+func (s *Sketch) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	if s.N == 0 {
+		s.Min, s.Max = v, v
+	} else {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.N++
+	switch {
+	case v == 0:
+		s.Zeros++
+	case v > 0:
+		if s.Pos == nil {
+			s.Pos = &SketchSide{}
+		}
+		s.Pos.add(sketchIdx(v), 1)
+	default:
+		if s.Neg == nil {
+			s.Neg = &SketchSide{}
+		}
+		s.Neg.add(sketchIdx(-v), 1)
+	}
+}
+
+// add folds n observations into bucket idx, growing the dense span to
+// cover it.
+func (sd *SketchSide) add(idx int, n uint64) {
+	if len(sd.Counts) == 0 {
+		sd.Base = idx
+		sd.Counts = append(sd.Counts, n)
+		return
+	}
+	if idx < sd.Base {
+		grown := make([]uint64, sd.Base-idx+len(sd.Counts))
+		copy(grown[sd.Base-idx:], sd.Counts)
+		sd.Counts = grown
+		sd.Base = idx
+	}
+	for idx >= sd.Base+len(sd.Counts) {
+		sd.Counts = append(sd.Counts, 0)
+	}
+	sd.Counts[idx-sd.Base] += n
+}
+
+func (sd *SketchSide) clone() *SketchSide {
+	if sd == nil {
+		return nil
+	}
+	return &SketchSide{Base: sd.Base, Counts: append([]uint64(nil), sd.Counts...)}
+}
+
+// Clone returns a deep copy sharing no state with s.
+func (s *Sketch) Clone() *Sketch {
+	if s == nil {
+		return nil
+	}
+	out := *s
+	out.Pos = s.Pos.clone()
+	out.Neg = s.Neg.clone()
+	return &out
+}
+
+// Merge folds another sketch into s without mutating o. Because bucketing
+// is deterministic per value, the result's bucket counts are identical to
+// a single sketch fed both inputs' observations in any order.
+func (s *Sketch) Merge(o *Sketch) {
+	if o == nil || o.N == 0 {
+		return
+	}
+	if s.N == 0 {
+		*s = *o.Clone()
+		return
+	}
+	if o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	s.N += o.N
+	s.Zeros += o.Zeros
+	if o.Pos != nil {
+		if s.Pos == nil {
+			s.Pos = &SketchSide{}
+		}
+		for i, n := range o.Pos.Counts {
+			if n > 0 {
+				s.Pos.add(o.Pos.Base+i, n)
+			}
+		}
+	}
+	if o.Neg != nil {
+		if s.Neg == nil {
+			s.Neg = &SketchSide{}
+		}
+		for i, n := range o.Neg.Counts {
+			if n > 0 {
+				s.Neg.add(o.Neg.Base+i, n)
+			}
+		}
+	}
+}
+
+// Count returns the number of observations folded in.
+func (s *Sketch) Count() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.N)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observations. It
+// walks the buckets in value order — most-negative magnitude down to the
+// smallest, zeros, then positives ascending — to the bucket holding the
+// target order statistic and returns its midpoint, clamped to [Min, Max].
+// The walk is monotone in q by construction, and Quantile(0)/Quantile(1)
+// are the exact extremes. An empty (or nil) sketch returns 0.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s == nil || s.N == 0 {
+		return 0
+	}
+	if math.IsNaN(q) || q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	// Nearest order statistic to the type-7 position q*(N-1), 0-based.
+	target := uint64(q*float64(s.N-1) + 0.5)
+	if target >= s.N {
+		target = s.N - 1
+	}
+	var seen uint64
+	if s.Neg != nil {
+		for i := len(s.Neg.Counts) - 1; i >= 0; i-- {
+			seen += s.Neg.Counts[i]
+			if seen > target {
+				return s.clamp(-sketchRep(s.Neg.Base + i))
+			}
+		}
+	}
+	seen += s.Zeros
+	if seen > target {
+		return s.clamp(0)
+	}
+	if s.Pos != nil {
+		for i, n := range s.Pos.Counts {
+			seen += n
+			if seen > target {
+				return s.clamp(sketchRep(s.Pos.Base + i))
+			}
+		}
+	}
+	// Counts exhausted before reaching the target (possible only on a
+	// hand-built inconsistent sketch): answer the max, never panic.
+	return s.Max
+}
+
+func (s *Sketch) clamp(v float64) float64 {
+	if v < s.Min {
+		return s.Min
+	}
+	if v > s.Max {
+		return s.Max
+	}
+	return v
+}

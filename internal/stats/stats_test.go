@@ -694,3 +694,36 @@ func TestRanks(t *testing.T) {
 		t.Fatalf("tied ranks = %v", got)
 	}
 }
+
+func TestSumIQRStandardZScores(t *testing.T) {
+	xs := []float64{4, 1, math.NaN(), 3, 2, math.Inf(1)}
+	if s := Sum(xs); s != 10 {
+		t.Fatalf("Sum = %v, want 10", s)
+	}
+	iqr, err := IQR(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iqr <= 0 || iqr > 3 {
+		t.Fatalf("IQR = %v, want in (0, 3]", iqr)
+	}
+	if _, err := IQR([]float64{math.NaN()}); err == nil {
+		t.Fatal("IQR of no finite values succeeded")
+	}
+	zs, err := StandardZScores(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zs) != len(xs) {
+		t.Fatalf("got %d z-scores for %d values", len(zs), len(xs))
+	}
+	if !math.IsNaN(zs[2]) || !math.IsNaN(zs[5]) {
+		t.Fatalf("non-finite inputs got finite z-scores: %v", zs)
+	}
+	if zs[0] <= 0 || zs[1] >= 0 {
+		t.Fatalf("z-scores lost ordering: %v", zs)
+	}
+	if _, err := StandardZScores(nil); err == nil {
+		t.Fatal("StandardZScores of nothing succeeded")
+	}
+}

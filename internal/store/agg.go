@@ -1,0 +1,255 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"indice/internal/parallel"
+	"indice/internal/query"
+	"indice/internal/table"
+)
+
+// Aggregation pushdown: stats- and grouped-shaped requests skip the
+// materialize-then-regroup detour entirely. Matched ordinals flow from the
+// planner straight into internal/table's grouped-aggregation kernels, so
+// dictionary codes and packed values are consumed in place and no result
+// table is ever built. No-predicate requests additionally reuse cached
+// per-(segment, spec) partials on sealed segments — the dashboard's
+// steady-state grouped queries reduce to merging a handful of frozen
+// partials, near-O(groups) regardless of corpus size.
+
+// AggSpec names what to aggregate: rows grouped by the categorical
+// attribute By ("" for corpus-wide totals), with mergeable stats
+// accumulated for each numeric attribute in Attrs.
+type AggSpec struct {
+	By    string
+	Attrs []string
+}
+
+func (s AggSpec) empty() bool { return s.By == "" && len(s.Attrs) == 0 }
+
+// cacheKey is the per-segment partial cache key. Attrs are schema-checked
+// before any cache touch, so the NUL join is unambiguous.
+func (s AggSpec) cacheKey() string {
+	return s.By + "\x00" + strings.Join(s.Attrs, "\x00")
+}
+
+// AggResult is the aggregate answer: the matched-row count, per-attribute
+// totals over all matched rows, and (when grouped) the per-group
+// accumulators sorted by key.
+type AggResult struct {
+	Matched int
+	Totals  []table.AggAccum
+	Groups  []*table.GroupAccum
+}
+
+// aggShardResult is one shard's contribution to an aggregate query.
+type aggShardResult struct {
+	partial *table.AggPartial
+	pruned  bool
+	indexed bool
+	cand    int
+	scanned int
+	cached  int // segment partials served from cache
+	err     error
+}
+
+// QueryAgg evaluates the predicate and aggregates the matches per spec —
+// the pushdown equivalent of Query followed by row-wise grouping, with
+// results identical to that oracle (bitwise for count/sum/min/max).
+func (sn *Snapshot) QueryAgg(p query.Predicate, spec AggSpec, workers int) (*AggResult, PlanStats, error) {
+	return sn.QueryShardsAgg(p, 0, len(sn.segs), workers, spec)
+}
+
+// QueryShardsAgg is QueryAgg restricted to the shard range [from, to) —
+// the seam the scatter-gather coordinator partitions cluster aggregates
+// along. Because every accumulator is mergeable, folding the partials of
+// a disjoint covering set of ranges reproduces QueryAgg exactly.
+func (sn *Snapshot) QueryShardsAgg(p query.Predicate, from, to, workers int, spec AggSpec) (*AggResult, PlanStats, error) {
+	start := time.Now()
+	if from < 0 || to > len(sn.segs) || from > to {
+		return nil, PlanStats{}, fmt.Errorf("store: query shard range [%d,%d) outside [0,%d)", from, to, len(sn.segs))
+	}
+	ps := PlanStats{Shards: to - from}
+	if err := sn.checkAggSpec(spec); err != nil {
+		return nil, ps, err
+	}
+	var pushIn []query.In
+	var pushRange []query.NumRange
+	var residual query.Predicate
+	if p != nil {
+		pushIn, pushRange, residual = pushdown(p, sn)
+	}
+
+	results := parallel.Map(to-from, workers, func(i int) aggShardResult {
+		return sn.aggShard(from+i, p, pushIn, pushRange, residual, spec)
+	})
+
+	g := table.NewGroupAggregator(spec.By, spec.Attrs)
+	cached := 0
+	for _, r := range results {
+		if r.err != nil {
+			return nil, ps, fmt.Errorf("store: query: %w", r.err)
+		}
+		if r.pruned {
+			ps.PrunedShards++
+		}
+		if r.indexed {
+			ps.IndexedShards++
+		}
+		ps.CandidateRows += r.cand
+		ps.ScannedRows += r.scanned
+		cached += r.cached
+		if r.partial != nil {
+			if err := g.AddPartial(r.partial); err != nil {
+				return nil, ps, fmt.Errorf("store: query: %w", err)
+			}
+		}
+	}
+	ps.MatchedRows = g.Rows()
+	observePlan(ps, p == nil && from == 0 && to == len(sn.segs))
+	mAggPushdown.Inc()
+	mAggCachedParts.Add(uint64(cached))
+	mQuerySeconds.ObserveDuration(time.Since(start))
+	out := &AggResult{Matched: g.Rows(), Groups: g.Groups()}
+	if len(spec.Attrs) > 0 {
+		out.Totals = g.Totals()
+	}
+	return out, ps, nil
+}
+
+// checkAggSpec validates the spec against the snapshot schema up front, so
+// shard workers never race to report the same shape error and callers get
+// table's sentinel errors (ErrNoColumn, ErrTypeMismatch) to map onto 400s.
+func (sn *Snapshot) checkAggSpec(spec AggSpec) error {
+	byType := make(map[string]table.Type, len(sn.schema))
+	for _, f := range sn.schema {
+		byType[f.Name] = f.Type
+	}
+	if spec.By != "" {
+		typ, ok := byType[spec.By]
+		if !ok {
+			return fmt.Errorf("%w: %q", table.ErrNoColumn, spec.By)
+		}
+		if typ != table.String {
+			return fmt.Errorf("%w: %q is %v, want string", table.ErrTypeMismatch, spec.By, typ)
+		}
+	}
+	for _, attr := range spec.Attrs {
+		typ, ok := byType[attr]
+		if !ok {
+			return fmt.Errorf("%w: %q", table.ErrNoColumn, attr)
+		}
+		if typ != table.Float64 {
+			return fmt.Errorf("%w: %q is %v, want float64", table.ErrTypeMismatch, attr, typ)
+		}
+	}
+	return nil
+}
+
+// aggShard aggregates one shard's matches. With no predicate it folds
+// whole segments — via the per-segment partial cache on sealed segments,
+// or a bare row count when the spec asks for nothing but Matched. With a
+// predicate it reuses the planner's queryShard verbatim and feeds the
+// resulting match ordinals into the kernels instead of materializing.
+func (sn *Snapshot) aggShard(i int, p query.Predicate, pushIn []query.In, pushRange []query.NumRange, residual query.Predicate, spec AggSpec) aggShardResult {
+	g := table.NewGroupAggregator(spec.By, spec.Attrs)
+	if p == nil {
+		out := aggShardResult{}
+		for _, sg := range sn.segs[i] {
+			if spec.empty() {
+				g.AddRows(sg.numRows())
+				continue
+			}
+			part, hit, err := sg.aggPartial(sn.ld, spec)
+			if err != nil {
+				return aggShardResult{err: err}
+			}
+			if hit {
+				out.cached++
+			} else {
+				out.scanned += sg.numRows()
+			}
+			if err := g.AddPartial(part); err != nil {
+				return aggShardResult{err: err}
+			}
+		}
+		out.partial = g.Partial()
+		return out
+	}
+
+	r := sn.queryShard(i, p, pushIn, pushRange, residual)
+	if r.err != nil {
+		return aggShardResult{err: r.err}
+	}
+	for _, part := range r.parts {
+		var err error
+		if part.enc != nil {
+			err = g.AddEncoded(part.enc, part.rows)
+		} else {
+			err = g.AddTable(part.raw, part.rows)
+		}
+		if err != nil {
+			return aggShardResult{err: err}
+		}
+	}
+	return aggShardResult{
+		partial: g.Partial(),
+		pruned:  r.pruned,
+		indexed: r.indexed,
+		cand:    r.cand,
+		scanned: r.scanned,
+	}
+}
+
+// maxAggPartials bounds the per-segment partial cache: a handful of
+// dashboard shapes per segment, never an unbounded working set.
+const maxAggPartials = 8
+
+// aggPartial returns the segment's frozen aggregate partial for the spec,
+// computing and caching it on first use. Cached partials live on the
+// segment struct itself — the residency sweep nils only the encoding, so
+// a cached partial keeps serving no-predicate aggregates even after its
+// segment is evicted to disk. Only sealed (encoded) segments cache:
+// raw tail copies are snapshot-private and die with their snapshot.
+// Partials are immutable once built (AddPartial never mutates its
+// argument), so one cached value may serve many concurrent queries.
+func (sg *segment) aggPartial(ld *segLoader, spec AggSpec) (*table.AggPartial, bool, error) {
+	key := spec.cacheKey()
+	sg.aggMu.Lock()
+	if part := sg.agg[key]; part != nil {
+		sg.aggMu.Unlock()
+		return part, true, nil
+	}
+	sg.aggMu.Unlock()
+
+	enc, tab, err := sg.openEnc(ld)
+	if err != nil {
+		return nil, false, err
+	}
+	g := table.NewGroupAggregator(spec.By, spec.Attrs)
+	if enc != nil {
+		err = g.AddEncoded(enc, nil)
+	} else {
+		err = g.AddTable(tab, nil)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	part := g.Partial()
+	if enc == nil {
+		return part, false, nil
+	}
+	sg.aggMu.Lock()
+	if existing := sg.agg[key]; existing != nil {
+		part = existing // concurrent compute raced us; converge on one value
+	} else if len(sg.agg) < maxAggPartials {
+		if sg.agg == nil {
+			sg.agg = make(map[string]*table.AggPartial)
+		}
+		sg.agg[key] = part
+	}
+	sg.aggMu.Unlock()
+	return part, false, nil
+}

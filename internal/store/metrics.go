@@ -44,6 +44,10 @@ var (
 	mRowsScanned  = obs.Default.Counter("indice_query_rows_scanned_total", "Rows evaluated by snapshot queries (segment scans plus index candidates).")
 	mRowsReturned = obs.Default.Counter("indice_query_rows_returned_total", "Rows returned by snapshot queries.")
 	mQuerySeconds = obs.Default.Histogram("indice_query_seconds", "Snapshot query evaluation latency (plan plus masked scan).", obs.Nanos)
+
+	// Aggregation pushdown.
+	mAggPushdown    = obs.Default.Counter("indice_query_agg_pushdown_total", "Aggregate queries answered by the pushdown path (no row materialization).")
+	mAggCachedParts = obs.Default.Counter("indice_query_agg_cached_partials_total", "Segment aggregate partials served from the per-segment cache.")
 )
 
 // observePlan folds one executed query into the planner metrics.

@@ -27,6 +27,13 @@ type segment struct {
 	enc *table.Encoded // sealed content, nil while evicted
 	tab *table.Table   // raw content of snapshot-private tail copies
 
+	// Per-spec frozen aggregate partials (see aggPartial). Guarded by its
+	// own mutex so cache hits never contend with residency loads, and
+	// deliberately not cleared by the eviction sweep: a partial is a few
+	// hundred bytes standing in for the whole encoding.
+	aggMu sync.Mutex
+	agg   map[string]*table.AggPartial
+
 	lastUse atomic.Int64 // loader clock at last access
 }
 

@@ -52,62 +52,87 @@ type GroupResult struct {
 // aggregates the numeric column value with the given function. Results
 // are sorted by key. Invalid group cells group under the empty string;
 // invalid value cells are skipped.
+//
+// One streaming pass: each row folds into its group's accumulator as it
+// is visited, so no per-group row-index slices are built and the value
+// column is touched exactly once. Within a group rows are still visited
+// in ascending row order, so sums (hence means) are bitwise identical to
+// the old two-pass shape.
 func (t *Table) Aggregate(groupBy, value string, kind AggKind) ([]GroupResult, error) {
-	groups, err := t.GroupByString(groupBy)
+	if kind < AggCount || kind > AggMax {
+		return nil, fmt.Errorf("table: unknown aggregation %v", kind)
+	}
+	keys, err := t.Strings(groupBy)
 	if err != nil {
 		return nil, err
 	}
+	gvalid, _ := t.ValidMask(groupBy)
 	vals, err := t.Floats(value)
 	if err != nil {
 		return nil, err
 	}
 	valid, _ := t.ValidMask(value)
 
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
+	type acc struct {
+		count    int
+		sum      float64
+		min, max float64
 	}
-	sort.Strings(keys)
-
-	out := make([]GroupResult, 0, len(keys))
-	for _, k := range keys {
-		res := GroupResult{Key: k}
-		agg := math.NaN()
-		var sum float64
-		for _, row := range groups[k] {
-			if !valid[row] {
-				continue
-			}
-			v := vals[row]
-			res.Count++
-			switch kind {
-			case AggMin:
-				if math.IsNaN(agg) || v < agg {
-					agg = v
-				}
-			case AggMax:
-				if math.IsNaN(agg) || v > agg {
-					agg = v
-				}
-			default:
-				sum += v
-			}
+	idx := make(map[string]int)
+	var accs []acc
+	var names []string
+	for r := 0; r < t.rows; r++ {
+		key := ""
+		if gvalid[r] {
+			key = keys[r]
 		}
+		ai, ok := idx[key]
+		if !ok {
+			ai = len(accs)
+			idx[key] = ai
+			accs = append(accs, acc{min: math.NaN(), max: math.NaN()})
+			names = append(names, key)
+		}
+		if !valid[r] {
+			continue
+		}
+		v := vals[r]
+		a := &accs[ai]
+		a.count++
+		a.sum += v
+		if math.IsNaN(a.min) || v < a.min {
+			a.min = v
+		}
+		if math.IsNaN(a.max) || v > a.max {
+			a.max = v
+		}
+	}
+
+	order := make([]int, len(names))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return names[order[i]] < names[order[j]] })
+
+	out := make([]GroupResult, 0, len(order))
+	for _, ai := range order {
+		a := accs[ai]
+		res := GroupResult{Key: names[ai], Count: a.count}
 		switch kind {
 		case AggCount:
-			res.Value = float64(res.Count)
+			res.Value = float64(a.count)
 		case AggSum:
-			res.Value = sum
+			res.Value = a.sum
 		case AggMean:
-			if res.Count > 0 {
-				res.Value = sum / float64(res.Count)
+			if a.count > 0 {
+				res.Value = a.sum / float64(a.count)
 			} else {
 				res.Value = math.NaN()
 			}
-		case AggMin, AggMax:
-			res.Value = agg
-		default:
-			return nil, fmt.Errorf("table: unknown aggregation %v", kind)
+		case AggMin:
+			res.Value = a.min
+		case AggMax:
+			res.Value = a.max
 		}
 		out = append(out, res)
 	}
